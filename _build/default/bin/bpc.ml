@@ -1,0 +1,378 @@
+(* bpc — the block-parallel compiler driver.
+
+   Subcommands: list, compile, simulate, report. See [bpc --help]. *)
+
+open Cmdliner
+open Bp_geometry
+module Pipeline = Bp_compiler.Pipeline
+module Sim = Bp_sim.Sim
+module App = Bp_apps.App
+
+let apps :
+    (string * (frame:Size.t -> rate:Rate.t -> n_frames:int -> App.instance))
+    list =
+  [
+    ( "image-pipeline",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Image_pipeline.v ~frame ~rate ~n_frames () );
+    ("bayer", fun ~frame ~rate ~n_frames -> Bp_apps.Bayer_app.v ~frame ~rate ~n_frames ());
+    ( "histogram",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Histogram_app.v ~frame ~rate ~n_frames () );
+    ( "multi-conv",
+      fun ~frame ~rate ~n_frames -> Bp_apps.Multi_conv.v ~frame ~rate ~n_frames () );
+    ( "parallel-buffer",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Parallel_buffer.v ~frame ~rate ~n_frames () );
+    ( "edge-detect",
+      fun ~frame ~rate ~n_frames -> Bp_apps.Edge_app.v ~frame ~rate ~n_frames () );
+    ( "motion-detect",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Motion_app.v ~frame ~rate ~n_frames () );
+    ( "resample",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Resample_app.v
+          ~frame:(Size.v (max frame.Size.w 16) 1)
+          ~rate ~n_frames () );
+    ( "downsample",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Downsample_app.v ~frame ~rate ~n_frames () );
+    ( "feedback",
+      fun ~frame ~rate ~n_frames ->
+        Bp_apps.Feedback_app.v ~frame ~rate ~n_frames () );
+  ]
+
+let build_app name ~frame ~rate ~n_frames =
+  match List.assoc_opt name apps with
+  | Some f -> f ~frame ~rate ~n_frames
+  | None ->
+    Bp_util.Err.unsupportedf "unknown app %S (try: %s)" name
+      (String.concat ", " (List.map fst apps))
+
+(* --- common options ---------------------------------------------------- *)
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Application to build (see $(b,bpc list)).")
+
+let width_arg =
+  Arg.(value & opt int 24 & info [ "width" ] ~docv:"W" ~doc:"Frame width.")
+
+let height_arg =
+  Arg.(value & opt int 18 & info [ "height" ] ~docv:"H" ~doc:"Frame height.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "rate" ] ~docv:"HZ" ~doc:"Input frame rate (frames/second).")
+
+let frames_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "frames" ] ~docv:"N" ~doc:"Number of frames to stream.")
+
+let machine_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Bp_machine.Machine.names)) "default"
+    & info [ "machine" ] ~docv:"M" ~doc:"Target machine model.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("trim", "trim"); ("pad", "pad") ]) "trim"
+    & info [ "policy" ] ~doc:"Alignment repair policy: trim or pad.")
+
+let greedy_arg =
+  Arg.(
+    value & flag
+    & info [ "greedy"; "g" ] ~doc:"Use the greedy multiplexed mapping.")
+
+let dot_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the elaborated graph as DOT.")
+
+let policy_of = function
+  | "pad" -> Bp_transform.Align.Pad_zero
+  | _ -> Bp_transform.Align.Trim
+
+let handle_errors f =
+  match Bp_util.Err.guard f with
+  | Ok () -> 0
+  | Error e ->
+    Format.eprintf "bpc: %a@." Bp_util.Err.pp e;
+    1
+
+let compile_common app width height rate frames machine policy =
+  let frame = Size.v width height in
+  let rate = Rate.hz rate in
+  let inst = build_app app ~frame ~rate ~n_frames:frames in
+  let machine = Bp_machine.Machine.by_name machine in
+  let compiled =
+    Pipeline.compile ~align_policy:(policy_of policy) ~machine inst.App.graph
+  in
+  (inst, compiled)
+
+(* --- subcommands ------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "applications:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) apps;
+    print_endline "machines:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) Bp_machine.Machine.names;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List applications and machine models")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let run app width height rate frames machine policy greedy dot =
+    handle_errors @@ fun () ->
+    let _inst, compiled =
+      compile_common app width height rate frames machine policy
+    in
+    Format.printf "%a" Pipeline.pp_summary compiled;
+    Format.printf "%a" Bp_analysis.Dataflow.pp_report compiled.Pipeline.analysis;
+    (match dot with
+    | Some path ->
+      let groups =
+        if greedy then Bp_transform.Multiplex.greedy compiled.Pipeline.machine compiled.Pipeline.graph
+        else Bp_transform.Multiplex.one_to_one compiled.Pipeline.graph
+      in
+      Bp_viz.Dot.write_file ~path
+        (Bp_viz.Dot.to_dot ~title:app ~groups compiled.Pipeline.graph);
+      Format.printf "wrote %s@." path
+    | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile an application and print the analysis")
+    Term.(
+      const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
+      $ machine_arg $ policy_arg $ greedy_arg $ dot_arg)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print a per-processor Gantt chart of the run.")
+
+let energy_arg =
+  Arg.(
+    value & flag
+    & info [ "energy" ] ~doc:"Print a first-order energy estimate.")
+
+let sched_arg =
+  Arg.(
+    value & flag
+    & info [ "schedulability" ]
+        ~doc:"Print the static per-kernel utilization report.")
+
+let simulate_cmd =
+  let run app width height rate frames machine policy greedy trace energy
+      sched =
+    handle_errors @@ fun () ->
+    let inst, compiled =
+      compile_common app width height rate frames machine policy
+    in
+    Format.printf "%a" Pipeline.pp_summary compiled;
+    if sched then
+      Format.printf "@[<v>%a@]@."
+        Bp_transform.Schedulability.pp
+        (Bp_transform.Schedulability.check compiled.Pipeline.machine
+           compiled.Pipeline.graph);
+    let recorded, observer = Bp_sim.Trace.recorder () in
+    let result =
+      let mapping =
+        if greedy then Pipeline.mapping_greedy compiled
+        else Pipeline.mapping_one_to_one compiled
+      in
+      Sim.run ~observer ~graph:compiled.Pipeline.graph ~mapping
+        ~machine:compiled.Pipeline.machine ()
+    in
+    Format.printf "%a@." Sim.pp_result result;
+    if trace then print_string (Bp_sim.Trace.gantt recorded);
+    if energy then
+      Format.printf "%a@." Bp_sim.Energy.pp
+        (Bp_sim.Energy.of_result ~machine:compiled.Pipeline.machine result);
+    let diffs, ok = App.verify inst result in
+    List.iter
+      (fun (label, d) -> Format.printf "  %s: max |diff| = %g@." label d)
+      diffs;
+    let verdict =
+      Sim.real_time_verdict result ~expected_frames:inst.App.n_frames
+        ~period_s:(App.period_s inst)
+        ~allowed_leftover:inst.App.allowed_leftover ()
+    in
+    Format.printf "functional: %s; real-time: %s (%d frames, worst interval \
+                   %.3fms)@."
+      (if ok then "exact" else "MISMATCH")
+      (if verdict.Sim.met then "met" else "MISSED")
+      verdict.Sim.frames_delivered
+      (1000. *. verdict.Sim.worst_frame_interval_s)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Compile, simulate, and verify function and throughput")
+    Term.(
+      const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
+      $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ energy_arg
+      $ sched_arg)
+
+let run_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A .bp program (see examples/programs).")
+  in
+  let run file machine policy greedy dot =
+    handle_errors @@ fun () ->
+    let program = Bp_lang.Lang.parse_file file in
+    let machine = Bp_machine.Machine.by_name machine in
+    let compiled =
+      Pipeline.compile ~align_policy:(policy_of policy) ~machine
+        program.Bp_lang.Lang.graph
+    in
+    Format.printf "%a" Pipeline.pp_summary compiled;
+    (match dot with
+    | Some path ->
+      Bp_viz.Dot.write_file ~path
+        (Bp_viz.Dot.to_dot ~title:file compiled.Pipeline.graph);
+      Format.printf "wrote %s@." path
+    | None -> ());
+    let result = Pipeline.simulate compiled ~greedy in
+    Format.printf "%a@." Sim.pp_result result;
+    List.iter
+      (fun (name, collector) ->
+        Format.printf "  output %s: %d chunks in %d frames@." name
+          (List.length (Bp_kernels.Sink.chunks collector))
+          (List.length (Bp_kernels.Sink.chunks_between_frames collector)))
+      program.Bp_lang.Lang.outputs;
+    match program.Bp_lang.Lang.rate with
+    | Some rate ->
+      let strict =
+        Sim.real_time_verdict result
+          ~expected_frames:program.Bp_lang.Lang.n_frames
+          ~period_s:(Rate.frame_period_s rate) ()
+      in
+      (* Delay lines legitimately hold state at quiescence; report that
+         case distinctly from a genuine miss. *)
+      let lenient =
+        Sim.real_time_verdict result
+          ~expected_frames:program.Bp_lang.Lang.n_frames
+          ~period_s:(Rate.frame_period_s rate)
+          ~allowed_leftover:result.Sim.leftover_items ()
+      in
+      let status =
+        if strict.Sim.met then "met"
+        else if lenient.Sim.met then
+          Printf.sprintf "met (%d items remain queued in delay lines)"
+            result.Sim.leftover_items
+        else "MISSED"
+      in
+      Format.printf "real-time: %s (%d frames, worst interval %.3fms)@."
+        status strict.Sim.frames_delivered
+        (1000. *. strict.Sim.worst_frame_interval_s)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and simulate a .bp program file")
+    Term.(
+      const run $ file_arg $ machine_arg $ policy_arg $ greedy_arg $ dot_arg)
+
+let rate_search_cmd =
+  let pes_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "pes" ] ~docv:"N" ~doc:"Processor budget to fill.")
+  in
+  let run app width height frames machine policy pes greedy =
+    handle_errors @@ fun () ->
+    let frame = Size.v width height in
+    let machine = Bp_machine.Machine.by_name machine in
+    let build ~rate_hz =
+      (build_app app ~frame ~rate:(Rate.hz rate_hz) ~n_frames:frames)
+        .App.graph
+    in
+    ignore (policy_of policy);
+    let r =
+      Bp_compiler.Rate_search.search ~machine ~max_pes:pes ~greedy build
+    in
+    List.iter
+      (fun (p : Bp_compiler.Rate_search.probe) ->
+        Format.printf "  probe %8.2f Hz -> %s@." p.Bp_compiler.Rate_search.rate_hz
+          (if p.Bp_compiler.Rate_search.fits then
+             Printf.sprintf "fits (%d PEs)" p.Bp_compiler.Rate_search.pes
+           else "does not fit"))
+      r.Bp_compiler.Rate_search.probes;
+    if r.Bp_compiler.Rate_search.best_rate_hz > 0. then
+      Format.printf
+        "highest sustainable rate on %d PEs: %.2f Hz (%d PEs used)@." pes
+        r.Bp_compiler.Rate_search.best_rate_hz r.Bp_compiler.Rate_search.best_pes
+    else Format.printf "no feasible rate on %d PEs@." pes
+  in
+  Cmd.v
+    (Cmd.info "rate-search"
+       ~doc:
+         "Find the highest sustainable input rate for a processor budget \
+          (the StreamIt-style inverse query)")
+    Term.(
+      const run $ app_arg $ width_arg $ height_arg $ frames_arg $ machine_arg
+      $ policy_arg $ pes_arg $ greedy_arg)
+
+let report_cmd =
+  let figs =
+    [
+      ("fig2", fun ppf -> ignore (Bp_report.Report.fig2 ppf));
+      ("fig3", fun ppf -> ignore (Bp_report.Report.fig3 ppf));
+      ("fig4", fun ppf -> ignore (Bp_report.Report.fig4 ppf));
+      ("fig5", fun ppf -> ignore (Bp_report.Report.fig5 ppf));
+      ("fig8", fun ppf -> ignore (Bp_report.Report.fig8 ppf));
+      ("fig9", fun ppf -> ignore (Bp_report.Report.fig9 ppf));
+      ("fig10", fun ppf -> ignore (Bp_report.Report.fig10 ppf));
+      ("fig11", fun ppf -> ignore (Bp_report.Report.fig11 ppf));
+      ("fig12", fun ppf -> ignore (Bp_report.Report.fig12 ppf));
+      ("fig13", fun ppf -> ignore (Bp_report.Report.fig13 ppf));
+      ("placement", fun ppf -> ignore (Bp_report.Report.placement_ablation ppf));
+      ("energy", fun ppf -> ignore (Bp_report.Report.energy_ablation ppf));
+      ("machines", fun ppf -> ignore (Bp_report.Report.machine_ablation ppf));
+    ]
+  in
+  let which =
+    Arg.(
+      value & pos_all string [ "all" ]
+      & info [] ~docv:"FIG"
+          ~doc:"Figures to reproduce (fig2..fig13, placement, energy, or all).")
+  in
+  let dot_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot-dir" ] ~docv:"DIR"
+          ~doc:"Also write Graphviz renderings of the figure graphs here.")
+  in
+  let run which dot_dir =
+    handle_errors @@ fun () ->
+    let ppf = Format.std_formatter in
+    List.iter
+      (fun w ->
+        if w = "all" then Bp_report.Report.all ppf
+        else
+          match List.assoc_opt w figs with
+          | Some f -> f ppf
+          | None -> Bp_util.Err.unsupportedf "unknown figure %S" w)
+      which;
+    match dot_dir with
+    | Some dir -> ignore (Bp_report.Report.export_dots ~dir ppf)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Reproduce the paper's figures and tables")
+    Term.(const run $ which $ dot_dir)
+
+let () =
+  let doc = "block-parallel compiler, simulator and experiment driver" in
+  let info = Cmd.info "bpc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; compile_cmd; simulate_cmd; run_cmd; rate_search_cmd; report_cmd ]))

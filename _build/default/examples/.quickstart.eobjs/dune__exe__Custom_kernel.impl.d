@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Behaviour Block_parallel Float Format Graph Image Item Kernel List Machine Mapping Method_spec Port Rate Sim Sink Size Source Token Window

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Block_parallel Conv Float Format Graph Image Image_ops List Machine Pipeline Rate Sim Sink Size Source Window

@@ -1,0 +1,1 @@
+examples/security_camera.ml: Arith Block_parallel Conv Float Format Graph Histogram Image Image_ops List Machine Median Pipeline Rate Sim Sink Size Source Window

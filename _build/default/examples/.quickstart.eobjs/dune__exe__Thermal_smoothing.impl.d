@@ -1,0 +1,1 @@
+examples/thermal_smoothing.ml: Behaviour Block_parallel Conv Feedback Float Format Graph Image Image_ops Kernel List Machine Method_spec Pipeline Port Rate Sim Sink Size Source Step Window

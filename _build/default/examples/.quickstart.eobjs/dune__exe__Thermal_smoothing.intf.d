@@ -1,0 +1,1 @@
+examples/thermal_smoothing.mli:

@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Bp_geometry Bp_graph Bp_kernel Bp_kernels Bp_token Bp_util Err Float Format Hashtbl Inset List Option Rate Size Step Stream String Window

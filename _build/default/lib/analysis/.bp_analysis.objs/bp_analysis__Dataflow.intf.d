@@ -1,0 +1,1 @@
+lib/analysis/dataflow.mli: Bp_geometry Bp_graph Format Stream

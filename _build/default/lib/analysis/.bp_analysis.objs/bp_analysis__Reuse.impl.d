@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Bp_geometry Format Size Step Window

@@ -1,0 +1,1 @@
+lib/analysis/reuse.mli: Bp_geometry Format

@@ -1,0 +1,1 @@
+lib/analysis/stream.ml: Bp_geometry Bp_util Format Inset List Rate Size

@@ -1,0 +1,1 @@
+lib/analysis/stream.mli: Bp_geometry Format

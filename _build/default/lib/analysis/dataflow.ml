@@ -1,0 +1,775 @@
+open Bp_util
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Port = Bp_kernel.Port
+module Method_spec = Bp_kernel.Method_spec
+module Costs = Bp_kernels.Costs
+
+type node_info = {
+  iterations : Size.t option;
+  fires_per_frame : float;
+  rate : Rate.t option;
+  compute_cycles_per_frame : float;
+  read_words_per_frame : float;
+  write_words_per_frame : float;
+}
+
+type misalignment = {
+  mis_node : Graph.node_id;
+  mis_method : string;
+  mis_inputs : (string * Size.t * Inset.t) list;
+  target_iterations : Size.t;
+  target_inset : Inset.t;
+}
+
+type t = {
+  g : Graph.t;
+  streams : (int, Stream.t) Hashtbl.t;
+  infos : (Graph.node_id, node_info) Hashtbl.t;
+  mutable mis : misalignment list;
+}
+
+let graph t = t.g
+
+let stream_of t chan_id =
+  match Hashtbl.find_opt t.streams chan_id with
+  | Some s -> s
+  | None -> Err.graphf "no stream recorded for channel %d" chan_id
+
+let info_of t id =
+  match Hashtbl.find_opt t.infos id with
+  | Some i -> i
+  | None -> Err.graphf "no analysis info for node %d" id
+
+let misalignments t = List.rev t.mis
+
+(* The *logical* per-frame iteration space a window imposes on a stream is
+   pure geometry — the window slid over the stream's extent. It is defined
+   even for interleaved branch streams (where this instance only fires on a
+   share of the iterations). *)
+let logical_iterations (s : Stream.t) (port : Port.t) =
+  let w = port.Port.window in
+  if Size.equal w.Window.size s.Stream.chunk
+     && not (Size.equal s.Stream.chunk Size.one)
+  then
+    (* Chunk-shaped windows are consumed one-for-one; derive the space from
+       the extent when possible, otherwise fall back to the grid. *)
+    match Err.guard (fun () -> Window.iterations w ~frame:s.Stream.extent) with
+    | Ok it -> it
+    | Error _ -> (
+      match s.Stream.grid with
+      | Some g -> g
+      | None -> Size.one)
+  else Window.iterations w ~frame:s.Stream.extent
+
+(* How often this node actually fires on the stream per frame: the full
+   iteration space for an in-order stream, its share for an interleaved
+   branch stream. *)
+let fires_on (s : Stream.t) (port : Port.t) =
+  if s.Stream.constant then 1.
+  else
+    match s.Stream.grid with
+    | None -> s.Stream.chunks_per_frame
+    | Some _ -> float_of_int (Size.area (logical_iterations s port))
+
+(* Does the stream over [c] need re-chunking before the consumer can use
+   it? *)
+let needs_buffer t (c : Graph.channel) =
+  let s = stream_of t c.Graph.chan_id in
+  if s.Stream.constant then false
+  else
+    let dst = Graph.node t.g c.Graph.dst.Graph.node in
+    let port = Spec.find_input dst.Graph.spec c.Graph.dst.Graph.port in
+    let w = port.Port.window in
+    if not (Size.equal w.Window.size s.Stream.chunk) then true
+    else
+      match s.Stream.grid with
+      | None -> false
+      | Some grid -> not (Size.equal (logical_iterations s port) grid)
+
+let overlapping (w : Window.t) =
+  w.Window.step.Step.sx < w.Window.size.Size.w
+  || w.Window.step.Step.sy < w.Window.size.Size.h
+
+(* The logical extent downstream of an output port: overlapped window
+   streams keep the upstream extent (consumers take them one-for-one);
+   tiling outputs define a fresh extent from the iteration space. *)
+let out_extent (w : Window.t) ~iterations ~upstream_extent =
+  if overlapping w then upstream_extent
+  else Size.scale iterations w.Window.size.Size.w w.Window.size.Size.h
+
+(* Streams arriving at each input port of a node. *)
+let in_streams t node_id =
+  List.map
+    (fun (c : Graph.channel) ->
+      (c.Graph.dst.Graph.port, stream_of t c.Graph.chan_id))
+    (Graph.in_channels t.g node_id)
+
+let record_out t node_id port stream =
+  List.iter
+    (fun (c : Graph.channel) ->
+      if String.equal c.Graph.src.Graph.port port then
+        Hashtbl.replace t.streams c.Graph.chan_id stream)
+    (Graph.out_channels t.g node_id ())
+
+let write_words t node_id =
+  List.fold_left
+    (fun acc (c : Graph.channel) ->
+      match Hashtbl.find_opt t.streams c.Graph.chan_id with
+      | Some s when not s.Stream.constant -> acc +. Stream.words_per_frame s
+      | _ -> acc)
+    0.
+    (Graph.out_channels t.g node_id ())
+
+let read_words ins =
+  List.fold_left
+    (fun acc (_, s) ->
+      if s.Stream.constant then acc else acc +. Stream.words_per_frame s)
+    0. ins
+
+(* --- Role-specific propagation rules --------------------------------- *)
+
+let analyze_source t (n : Graph.node) =
+  let frame, rate =
+    match n.Graph.meta with
+    | Graph.Source_meta { frame; rate } -> (frame, rate)
+    | _ -> Err.graphf "source %s lacks Source_meta" n.Graph.name
+  in
+  let s = Stream.source_stream ~frame ~rate ~origin:n.Graph.id in
+  record_out t n.Graph.id "out" s;
+  {
+    iterations = Some frame;
+    fires_per_frame = float_of_int (Size.area frame);
+    rate = Some rate;
+    compute_cycles_per_frame = 0.;
+    read_words_per_frame = 0.;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_const t (n : Graph.node) =
+  let port =
+    match n.Graph.spec.Spec.outputs with
+    | [ p ] -> p
+    | _ -> Err.graphf "const source %s must have one output" n.Graph.name
+  in
+  let s = Stream.constant_stream ~chunk:port.Port.window.Window.size in
+  record_out t n.Graph.id port.Port.name s;
+  {
+    iterations = None;
+    fires_per_frame = 0.;
+    rate = None;
+    compute_cycles_per_frame = 0.;
+    read_words_per_frame = 0.;
+    write_words_per_frame = 0.;
+  }
+
+(* Combine the per-input logical iteration spaces of one data method;
+   record a misalignment when they disagree and continue with the
+   intersection (the post-repair value). *)
+let combine_method_iterations t (n : Graph.node) (m : Method_spec.t) per_input
+    =
+  match per_input with
+  | [] -> (Size.one, Inset.zero)
+  | (_, it0, i0) :: rest ->
+    let target =
+      List.fold_left
+        (fun acc (_, it, _) ->
+          Size.v (min acc.Size.w it.Size.w) (min acc.Size.h it.Size.h))
+        it0 rest
+    in
+    let target_inset =
+      List.fold_left (fun acc (_, _, i) -> Inset.union acc i) i0 rest
+    in
+    if not (List.for_all (fun (_, it, _) -> Size.equal target it) per_input)
+    then
+      t.mis <-
+        {
+          mis_node = n.Graph.id;
+          mis_method = m.Method_spec.name;
+          mis_inputs = per_input;
+          target_iterations = target;
+          target_inset;
+        }
+        :: t.mis;
+    (target, target_inset)
+
+let analyze_compute t (n : Graph.node) =
+  let spec = n.Graph.spec in
+  let ins = in_streams t n.Graph.id in
+  let stream_of_port p =
+    match List.assoc_opt p ins with
+    | Some s -> s
+    | None -> Err.graphf "%s: input %s has no stream" n.Graph.name p
+  in
+  let rate = Stream.same_rate (List.map snd ins) in
+  let data_methods, token_methods =
+    List.partition
+      (fun m ->
+        match m.Method_spec.trigger with
+        | Method_spec.On_data _ -> true
+        | Method_spec.On_token _ -> false)
+      spec.Spec.methods
+  in
+  (* Per data method: logical iteration space (geometry), fire share
+     (scheduling), inset, origin. *)
+  let method_results =
+    List.map
+      (fun m ->
+        let inputs = Method_spec.trigger_inputs m in
+        let driving =
+          List.filter_map
+            (fun pname ->
+              let s = stream_of_port pname in
+              if s.Stream.constant then None
+              else
+                let port = Spec.find_input spec pname in
+                let inset =
+                  Inset.add s.Stream.inset (Inset.of_window port.Port.window)
+                in
+                Some (pname, logical_iterations s port, inset, s, port))
+            inputs
+        in
+        let per_input =
+          List.map (fun (p, it, i, _, _) -> (p, it, i)) driving
+        in
+        let iterations, inset =
+          combine_method_iterations t n m per_input
+        in
+        let rect =
+          driving <> []
+          && List.for_all
+               (fun (_, _, _, s, _) -> Option.is_some s.Stream.grid)
+               driving
+        in
+        let fires =
+          if driving = [] then 0.
+          else
+            List.fold_left
+              (fun acc (_, _, _, s, port) -> Float.min acc (fires_on s port))
+              infinity driving
+        in
+        let origins =
+          List.sort_uniq compare
+            (List.filter_map (fun (_, _, _, s, _) -> s.Stream.origin) driving)
+        in
+        let origin = match origins with [ o ] -> Some o | _ -> None in
+        let upstream_extent =
+          match driving with
+          | (_, _, _, s, _) :: _ -> s.Stream.extent
+          | [] -> Size.one
+        in
+        (m, iterations, fires, rect, inset, origin, upstream_extent))
+      data_methods
+  in
+  (* Outputs written by data methods. *)
+  List.iter
+    (fun (m, iterations, fires, rect, inset, origin, upstream_extent) ->
+      List.iter
+        (fun oname ->
+          let oport = Spec.find_output spec oname in
+          let w = oport.Port.window in
+          let stream =
+            {
+              Stream.chunk = w.Window.size;
+              chunks_per_frame = fires;
+              grid = (if rect then Some iterations else None);
+              extent = out_extent w ~iterations ~upstream_extent;
+              rate;
+              inset;
+              origin;
+              constant = false;
+            }
+          in
+          record_out t n.Graph.id oname stream)
+        m.Method_spec.outputs)
+    method_results;
+  (* Outputs written by token methods: once per handled token. *)
+  List.iter
+    (fun m ->
+      match m.Method_spec.trigger with
+      | Method_spec.On_token (_, Bp_token.Token.End_of_frame) ->
+        List.iter
+          (fun oname ->
+            let oport = Spec.find_output spec oname in
+            let chunk = oport.Port.window.Window.size in
+            let stream =
+              {
+                Stream.chunk;
+                chunks_per_frame = 1.;
+                grid = Some Size.one;
+                extent = chunk;
+                rate;
+                inset = Inset.zero;
+                origin = None;
+                constant = false;
+              }
+            in
+            record_out t n.Graph.id oname stream)
+          m.Method_spec.outputs
+      | Method_spec.On_token (_, (Bp_token.Token.User _ as kind)) ->
+        (* User tokens carry a declared per-frame bound (Section II-C);
+           outputs they trigger recur at most that often. *)
+        let budget =
+          match Spec.user_token_budget spec kind with
+          | Some b -> float_of_int b
+          | None ->
+            Err.unsupportedf "%s: user token without a declared bound"
+              n.Graph.name
+        in
+        List.iter
+          (fun oname ->
+            let oport = Spec.find_output spec oname in
+            let chunk = oport.Port.window.Window.size in
+            let stream =
+              {
+                Stream.chunk;
+                chunks_per_frame = budget;
+                grid = None;
+                extent = chunk;
+                rate;
+                inset = Inset.zero;
+                origin = None;
+                constant = false;
+              }
+            in
+            record_out t n.Graph.id oname stream)
+          m.Method_spec.outputs
+      | Method_spec.On_token (_, Bp_token.Token.End_of_line) ->
+        if m.Method_spec.outputs <> [] then
+          Err.unsupportedf
+            "%s: outputs triggered by end-of-line tokens are not analyzable"
+            n.Graph.name
+      | Method_spec.On_data _ -> ())
+    token_methods;
+  let data_fires =
+    List.fold_left
+      (fun acc (_, _, fires, _, _, _, _) -> acc +. fires)
+      0. method_results
+  in
+  let user_budget m =
+    match m.Method_spec.trigger with
+    | Method_spec.On_token (_, (Bp_token.Token.User _ as kind)) ->
+      float_of_int (Option.value ~default:0 (Spec.user_token_budget spec kind))
+    | _ -> 0.
+  in
+  let token_fires =
+    List.fold_left
+      (fun acc m ->
+        match m.Method_spec.trigger with
+        | Method_spec.On_token (_, Bp_token.Token.End_of_frame) -> acc +. 1.
+        | Method_spec.On_token (_, Bp_token.Token.User _) ->
+          acc +. user_budget m
+        | Method_spec.On_token (_, Bp_token.Token.End_of_line)
+        | Method_spec.On_data _ ->
+          acc)
+      0. token_methods
+  in
+  let cycles =
+    List.fold_left
+      (fun acc (m, _, fires, _, _, _, _) ->
+        acc +. (fires *. float_of_int m.Method_spec.cycles))
+      0. method_results
+    +. List.fold_left
+         (fun acc m ->
+           match m.Method_spec.trigger with
+           | Method_spec.On_token (_, Bp_token.Token.End_of_frame) ->
+             acc +. float_of_int m.Method_spec.cycles
+           | Method_spec.On_token (_, Bp_token.Token.User _) ->
+             acc +. (user_budget m *. float_of_int m.Method_spec.cycles)
+           | _ -> acc)
+         0. token_methods
+  in
+  let iterations =
+    (* The primary data method's iteration space, when one fires. *)
+    List.fold_left
+      (fun acc (_, it, fires, _, _, _, _) ->
+        match acc with
+        | None when fires > 0. -> Some it
+        | acc -> acc)
+      None method_results
+  in
+  {
+    iterations;
+    fires_per_frame = data_fires +. token_fires;
+    rate;
+    compute_cycles_per_frame = cycles;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_buffer t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  let s =
+    match ins with
+    | [ (_, s) ] -> s
+    | _ -> Err.graphf "buffer %s must have exactly one input" n.Graph.name
+  in
+  let oport =
+    match n.Graph.spec.Spec.outputs with
+    | [ p ] -> p
+    | _ -> Err.graphf "buffer %s must have one output" n.Graph.name
+  in
+  let w = oport.Port.window in
+  let iterations = Window.iterations w ~frame:s.Stream.extent in
+  let stream =
+    {
+      Stream.chunk = w.Window.size;
+      chunks_per_frame = float_of_int (Size.area iterations);
+      grid = Some iterations;
+      (* A buffer re-chunks but does not transform the logical frame: the
+         consumer's own window (whose shape the buffer mirrors) applies the
+         step/halo math. This also holds for downsampling windows, where
+         scaling the extent here would make the consumer decimate twice. *)
+      extent = s.Stream.extent;
+      rate = s.Stream.rate;
+      inset = s.Stream.inset;
+      origin = s.Stream.origin;
+      constant = false;
+    }
+  in
+  record_out t n.Graph.id oport.Port.name stream;
+  let fires =
+    s.Stream.chunks_per_frame +. float_of_int (Size.area iterations)
+  in
+  {
+    iterations = Some iterations;
+    fires_per_frame = fires;
+    rate = s.Stream.rate;
+    compute_cycles_per_frame = fires *. float_of_int Costs.buffer_store;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_split t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  let s =
+    match ins with
+    | [ (_, s) ] -> s
+    | _ -> Err.graphf "split %s must have exactly one input" n.Graph.name
+  in
+  let outs = n.Graph.spec.Spec.outputs in
+  (match n.Graph.meta with
+  | Graph.Split_meta { ways } ->
+    let share = s.Stream.chunks_per_frame /. float_of_int ways in
+    List.iter
+      (fun (p : Port.t) ->
+        record_out t n.Graph.id p.Port.name
+          { s with Stream.chunks_per_frame = share; grid = None })
+      outs
+  | Graph.Column_split_meta { ranges } ->
+    List.iteri
+      (fun k (p : Port.t) ->
+        let c0, c1 = ranges.(k) in
+        let extent = Size.v (c1 - c0) s.Stream.extent.Size.h in
+        record_out t n.Graph.id p.Port.name
+          {
+            s with
+            Stream.chunks_per_frame = float_of_int (Size.area extent);
+            grid = Some extent;
+            extent;
+          })
+      outs
+  | _ -> Err.graphf "split %s lacks split metadata" n.Graph.name);
+  let fires = s.Stream.chunks_per_frame in
+  {
+    iterations = None;
+    fires_per_frame = fires;
+    rate = s.Stream.rate;
+    compute_cycles_per_frame = fires *. float_of_int Costs.split;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_join t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  if ins = [] then Err.graphf "join %s has no inputs" n.Graph.name;
+  let streams = List.map snd ins in
+  let s0 = List.hd streams in
+  let chunks =
+    List.fold_left (fun acc s -> acc +. s.Stream.chunks_per_frame) 0. streams
+  in
+  let inset =
+    List.fold_left
+      (fun acc s -> Inset.union acc s.Stream.inset)
+      s0.Stream.inset (List.tl streams)
+  in
+  let origins =
+    List.sort_uniq compare (List.filter_map (fun s -> s.Stream.origin) streams)
+  in
+  let origin = match origins with [ o ] -> Some o | _ -> None in
+  let extent =
+    match n.Graph.meta with
+    | Graph.Pattern_join_meta { out_extent; pattern = _ } -> out_extent
+    | _ -> s0.Stream.extent
+  in
+  (* A join re-serializes its branches into scan-line order, so the output
+     grid is exactly the iteration space of the join's window over the
+     recombined extent. *)
+  let grid =
+    let w =
+      (Spec.find_output n.Graph.spec "out").Bp_kernel.Port.window
+    in
+    match Err.guard (fun () -> Window.iterations w ~frame:extent) with
+    | Ok it when Float.abs (float_of_int (Size.area it) -. chunks) < 1e-6 ->
+      Some it
+    | Ok _ | Error _ -> None
+  in
+  let out =
+    {
+      Stream.chunk = s0.Stream.chunk;
+      chunks_per_frame = chunks;
+      grid;
+      extent;
+      rate = Stream.same_rate streams;
+      inset;
+      origin;
+      constant = false;
+    }
+  in
+  record_out t n.Graph.id "out" out;
+  {
+    iterations = None;
+    fires_per_frame = chunks;
+    rate = out.Stream.rate;
+    compute_cycles_per_frame = chunks *. float_of_int Costs.split;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_inset t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  let s =
+    match ins with
+    | [ (_, s) ] -> s
+    | _ -> Err.graphf "inset %s must have exactly one input" n.Graph.name
+  in
+  let l, r, tp, b =
+    match n.Graph.meta with
+    | Graph.Inset_meta { left; right; top; bottom } -> (left, right, top, bottom)
+    | _ -> Err.graphf "inset %s lacks Inset_meta" n.Graph.name
+  in
+  let grid =
+    match s.Stream.grid with
+    | Some g -> g
+    | None -> Err.unsupportedf "inset %s on interleaved stream" n.Graph.name
+  in
+  let grid' = Size.v (grid.Size.w - l - r) (grid.Size.h - tp - b) in
+  let extent =
+    Size.scale grid' s.Stream.chunk.Size.w s.Stream.chunk.Size.h
+  in
+  let inset =
+    Inset.add s.Stream.inset
+      (Inset.v ~left:(float_of_int l) ~right:(float_of_int r)
+         ~top:(float_of_int tp) ~bottom:(float_of_int b))
+  in
+  let out =
+    {
+      s with
+      Stream.chunks_per_frame = float_of_int (Size.area grid');
+      grid = Some grid';
+      extent;
+      inset;
+    }
+  in
+  record_out t n.Graph.id "out" out;
+  let fires = s.Stream.chunks_per_frame in
+  {
+    iterations = Some grid';
+    fires_per_frame = fires;
+    rate = s.Stream.rate;
+    compute_cycles_per_frame = fires *. float_of_int Costs.inset;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_pad t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  let s =
+    match ins with
+    | [ (_, s) ] -> s
+    | _ -> Err.graphf "pad %s must have exactly one input" n.Graph.name
+  in
+  let l, r, tp, b =
+    match n.Graph.meta with
+    | Graph.Pad_meta { left; right; top; bottom } -> (left, right, top, bottom)
+    | _ -> Err.graphf "pad %s lacks Pad_meta" n.Graph.name
+  in
+  let extent =
+    Size.v (s.Stream.extent.Size.w + l + r) (s.Stream.extent.Size.h + tp + b)
+  in
+  let inset =
+    {
+      Inset.left = s.Stream.inset.Inset.left -. float_of_int l;
+      right = s.Stream.inset.Inset.right -. float_of_int r;
+      top = s.Stream.inset.Inset.top -. float_of_int tp;
+      bottom = s.Stream.inset.Inset.bottom -. float_of_int b;
+    }
+  in
+  let out =
+    {
+      s with
+      Stream.chunks_per_frame = float_of_int (Size.area extent);
+      grid = Some extent;
+      extent;
+      inset;
+    }
+  in
+  record_out t n.Graph.id "out" out;
+  let fires = float_of_int (Size.area extent) in
+  {
+    iterations = Some extent;
+    fires_per_frame = fires;
+    rate = s.Stream.rate;
+    compute_cycles_per_frame = fires *. float_of_int Costs.pad;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_replicate t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  let s =
+    match ins with
+    | [ (_, s) ] -> s
+    | _ -> Err.graphf "replicate %s must have exactly one input" n.Graph.name
+  in
+  record_out t n.Graph.id "out" s;
+  let fires = s.Stream.chunks_per_frame in
+  {
+    iterations = None;
+    fires_per_frame = fires;
+    rate = s.Stream.rate;
+    compute_cycles_per_frame = fires;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = write_words t n.Graph.id;
+  }
+
+let analyze_sink t (n : Graph.node) =
+  let ins = in_streams t n.Graph.id in
+  {
+    iterations = None;
+    fires_per_frame =
+      List.fold_left (fun acc (_, s) -> acc +. s.Stream.chunks_per_frame) 0. ins;
+    rate = Stream.same_rate (List.map snd ins);
+    compute_cycles_per_frame = 0.;
+    read_words_per_frame = read_words ins;
+    write_words_per_frame = 0.;
+  }
+
+let analyze_node t (n : Graph.node) =
+  match n.Graph.spec.Spec.role with
+  | Spec.Source -> analyze_source t n
+  | Spec.Const_source -> analyze_const t n
+  | Spec.Compute -> analyze_compute t n
+  | Spec.Buffer -> analyze_buffer t n
+  | Spec.Split -> analyze_split t n
+  | Spec.Join -> analyze_join t n
+  | Spec.Inset -> analyze_inset t n
+  | Spec.Pad -> analyze_pad t n
+  | Spec.Replicate -> analyze_replicate t n
+  | Spec.Sink -> analyze_sink t n
+
+(* Seed the declared loop stream of a feedback-initialization kernel so the
+   work-list can enter the cycle (Section III-D). *)
+let seed_feedback t (n : Graph.node) =
+  match n.Graph.meta with
+  | Graph.Feedback_init_meta { extent; rate } ->
+    let port =
+      match n.Graph.spec.Spec.outputs with
+      | [ p ] -> p
+      | _ -> Err.graphf "feedback init %s must have one output" n.Graph.name
+    in
+    let w = port.Port.window in
+    let grid = Window.iterations w ~frame:extent in
+    record_out t n.Graph.id port.Port.name
+      {
+        Stream.chunk = w.Window.size;
+        chunks_per_frame = float_of_int (Size.area grid);
+        grid = Some grid;
+        extent;
+        rate = Some rate;
+        inset = Inset.zero;
+        origin = None;
+        constant = false;
+      };
+    true
+  | _ -> false
+
+let analyze g =
+  Graph.validate g;
+  let t =
+    { g; streams = Hashtbl.create 64; infos = Hashtbl.create 64; mis = [] }
+  in
+  let seeded =
+    List.filter (fun n -> seed_feedback t n) (Graph.nodes g)
+  in
+  let ready (n : Graph.node) =
+    List.for_all
+      (fun (c : Graph.channel) -> Hashtbl.mem t.streams c.Graph.chan_id)
+      (Graph.in_channels g n.Graph.id)
+  in
+  (* Work-list over the (cycle-tolerant) topological order: on a DAG one
+     pass suffices; feedback cycles resolve through the seeded streams. *)
+  let rec passes pending guard =
+    if pending = [] then ()
+    else if guard = 0 then
+      Err.graphf "dataflow did not converge (feedback loop without an
+        initialization kernel?)"
+    else begin
+      let remaining =
+        List.filter
+          (fun n ->
+            if ready n then begin
+              Hashtbl.replace t.infos n.Graph.id (analyze_node t n);
+              false
+            end
+            else true)
+          pending
+      in
+      if List.length remaining = List.length pending then
+        Err.graphf "dataflow stuck: %s have inputs with no streams"
+          (String.concat ", "
+             (List.map (fun (n : Graph.node) -> n.Graph.name) remaining));
+      passes remaining (guard - 1)
+    end
+  in
+  passes (Graph.topological_order g) (1 + Graph.size g);
+  (* A feedback loop converges when recomputing the init kernel reproduces
+     the declared stream. *)
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.meta with
+      | Graph.Feedback_init_meta { extent; rate } ->
+        List.iter
+          (fun (c : Graph.channel) ->
+            let s = stream_of t c.Graph.chan_id in
+            if not (Size.equal s.Stream.extent extent) then
+              Err.ratef
+                "feedback loop through %s does not converge: declared \
+                 extent %s, computed %s"
+                n.Graph.name (Size.to_string extent)
+                (Size.to_string s.Stream.extent);
+            match s.Stream.rate with
+            | Some r when not (Rate.equal r rate) ->
+              Err.ratef "feedback loop through %s: declared %s, computed %s"
+                n.Graph.name (Rate.to_string rate) (Rate.to_string r)
+            | _ -> ())
+          (Graph.out_channels g n.Graph.id ())
+      | _ -> ())
+    seeded;
+  t
+
+let pp_report ppf t =
+  Format.fprintf ppf "%-26s %-12s %-10s %-10s %s@." "node" "iterations"
+    "fires/frm" "rate" "cycles/frm";
+  List.iter
+    (fun (n : Graph.node) ->
+      let i = info_of t n.Graph.id in
+      Format.fprintf ppf "%-26s %-12s %-10.0f %-10s %.0f@." n.Graph.name
+        (match i.iterations with
+        | Some s -> Size.to_string s
+        | None -> "-")
+        i.fires_per_frame
+        (match i.rate with Some r -> Rate.to_string r | None -> "const")
+        i.compute_cycles_per_frame)
+    (Graph.topological_order t.g)

@@ -1,0 +1,66 @@
+(** Iteration-size, rate and inset dataflow analysis (Sections III-A/III-C).
+
+    The analysis propagates the application inputs' sizes and rates through
+    the graph in topological order, computing for every channel a
+    {!Stream.t} and for every node its iteration space, firing count,
+    per-frame cycle and I/O word requirements — everything the buffering,
+    alignment and parallelization transforms need.
+
+    The analysis is *total on partially-elaborated graphs*: it runs on the
+    raw application (Figure 2), after buffering (Figure 3), and after
+    parallelization (Figure 4), giving consistent results at each stage.
+    Misaligned multi-input kernels (Figure 8) do not fail the analysis;
+    they are reported in [misalignments] and the analysis continues with the
+    intersection of the inputs' iteration spaces (the post-repair value). *)
+
+type node_info = {
+  iterations : Bp_geometry.Size.t option;
+      (** Rectangular per-frame iteration space of the node's primary data
+          method; [None] when the node is fed an interleaved branch stream
+          or fires only on tokens. *)
+  fires_per_frame : float;
+      (** Total method firings per frame (all methods, including token
+          handlers). *)
+  rate : Bp_geometry.Rate.t option;
+      (** Frame rate; [None] for constant-only nodes. *)
+  compute_cycles_per_frame : float;
+  read_words_per_frame : float;
+  write_words_per_frame : float;
+}
+
+type misalignment = {
+  mis_node : Bp_graph.Graph.node_id;
+  mis_method : string;
+  mis_inputs : (string * Bp_geometry.Size.t * Bp_geometry.Inset.t) list;
+      (** Port, iteration space, inset of each rectangular driving input. *)
+  target_iterations : Bp_geometry.Size.t;
+      (** Intersection the inputs must be trimmed/padded to. *)
+  target_inset : Bp_geometry.Inset.t;  (** Union of the input insets. *)
+}
+
+type t
+
+val analyze : Bp_graph.Graph.t -> t
+(** Runs the dataflow. Fails with {!Bp_util.Err.Rate_mismatch} when two
+    driving inputs of one kernel carry different frame rates, and with
+    {!Bp_util.Err.Unsupported} on constructs outside the model. *)
+
+val graph : t -> Bp_graph.Graph.t
+
+val stream_of : t -> int -> Stream.t
+(** The stream over a channel (by channel id). Fails with
+    {!Bp_util.Err.Graph_malformed} for unknown channels. *)
+
+val info_of : t -> Bp_graph.Graph.node_id -> node_info
+
+val misalignments : t -> misalignment list
+(** Multi-input kernels whose driving inputs disagree on extent — the work
+    list of the alignment transform. Empty on a well-aligned graph. *)
+
+val needs_buffer : t -> Bp_graph.Graph.channel -> bool
+(** True when the producer's chunk shape or grid does not match what the
+    consumer's window needs — the work list of the buffering transform. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** A per-node table of iteration sizes, rates and insets — the textual
+    equivalent of Figure 2's annotations. *)

@@ -1,0 +1,1 @@
+lib/apps/app.ml: Bp_geometry Bp_graph Bp_image Bp_kernels Bp_sim Float List Rate Size

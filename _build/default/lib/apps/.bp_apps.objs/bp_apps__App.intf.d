@@ -1,0 +1,1 @@
+lib/apps/app.mli: Bp_geometry Bp_graph Bp_image Bp_kernels Bp_sim

@@ -1,0 +1,1 @@
+lib/apps/bayer_app.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/downsample_app.ml: App Behaviour Bp_geometry Bp_graph Bp_image Bp_kernel Bp_kernels List Method_spec Port Size Spec Step Window

@@ -1,0 +1,1 @@
+lib/apps/downsample_app.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/edge_app.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/feedback_app.ml: App Bp_geometry Bp_graph Bp_image Bp_kernels List Size Window

@@ -1,0 +1,1 @@
+lib/apps/feedback_app.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/histogram_app.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/image_pipeline.ml: App Bp_geometry Bp_graph Bp_image Bp_kernels Bp_transform Bp_util List Size Window

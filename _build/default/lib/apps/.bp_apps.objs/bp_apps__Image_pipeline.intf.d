@@ -1,0 +1,1 @@
+lib/apps/image_pipeline.mli: App Bp_geometry Bp_image Bp_transform

@@ -1,0 +1,1 @@
+lib/apps/motion_app.ml: App Bp_geometry Bp_graph Bp_image Bp_kernels Float List Size Window

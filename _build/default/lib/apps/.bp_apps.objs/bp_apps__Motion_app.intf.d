@@ -1,0 +1,1 @@
+lib/apps/motion_app.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/multi_conv.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/parallel_buffer.mli: App Bp_geometry

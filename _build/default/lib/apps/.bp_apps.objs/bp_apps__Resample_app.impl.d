@@ -1,0 +1,1 @@
+lib/apps/resample_app.ml: App Bp_geometry Bp_graph Bp_image Bp_kernels Bp_util List Size Window

@@ -1,0 +1,1 @@
+lib/apps/resample_app.mli: App Bp_geometry

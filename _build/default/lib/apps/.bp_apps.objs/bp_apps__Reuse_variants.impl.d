@@ -1,0 +1,1 @@
+lib/apps/reuse_variants.ml: App Bp_geometry Bp_graph Bp_image Bp_kernels List Printf Size Window

@@ -1,0 +1,1 @@
+lib/apps/reuse_variants.mli: App Bp_geometry

@@ -1,0 +1,1 @@
+lib/apps/suite.ml: App Bayer_app Bp_geometry Bp_machine Bp_util Histogram_app Image_pipeline List Multi_conv Parallel_buffer Rate Size String

@@ -1,0 +1,1 @@
+lib/apps/suite.mli: App Bp_machine

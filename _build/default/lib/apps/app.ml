@@ -1,0 +1,55 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Sink = Bp_kernels.Sink
+
+type instance = {
+  name : string;
+  graph : Graph.t;
+  frame : Size.t;
+  rate : Rate.t;
+  n_frames : int;
+  checks : (string * (unit -> float)) list;
+  expected_chunks : (string * int) list;
+  collectors : (string * Sink.collector) list;
+  allowed_leftover : int;
+}
+
+let period_s inst = Rate.frame_period_s inst.rate
+
+let verify inst (result : Bp_sim.Sim.result) =
+  let diffs = List.map (fun (label, f) -> (label, f ())) inst.checks in
+  let chunks_ok =
+    List.for_all
+      (fun (label, expected) ->
+        match List.assoc_opt label inst.collectors with
+        | Some c -> List.length (Sink.chunks c) = expected
+        | None -> false)
+      inst.expected_chunks
+  in
+  let exact = List.for_all (fun (_, d) -> d <= 1e-9) diffs in
+  ( diffs,
+    chunks_ok && exact
+    && result.Bp_sim.Sim.leftover_items <= inst.allowed_leftover )
+
+let add_source g ~frame ~rate ~frames =
+  Graph.add g
+    ~meta:(Graph.Source_meta { frame; rate })
+    (Bp_kernels.Source.spec ~frame ~frames ())
+
+let add_sink g ~name ~window collector =
+  Graph.add g ~name (Sink.spec ~class_name:name ~window collector ())
+
+let sink_frames_as_images collector extent =
+  List.map
+    (fun chunks ->
+      Image.of_scanline_list extent
+        (List.map (fun c -> Image.get c ~x:0 ~y:0) chunks))
+    (Sink.chunks_between_frames collector)
+
+let max_diff_over_frames ~golden got =
+  if List.length golden <> List.length got then infinity
+  else
+    List.fold_left2
+      (fun acc a b -> Float.max acc (Image.max_abs_diff a b))
+      0. golden got

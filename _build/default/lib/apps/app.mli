@@ -1,0 +1,59 @@
+(** Benchmark application instances.
+
+    Each application module builds a raw block-parallel graph plus the
+    apparatus to verify a simulated run: the synthetic input frames, the
+    sink collectors, and golden whole-frame reference computations. The
+    [checks] are evaluated after simulation and report the worst pixel
+    deviation per output — 0.0 for an exact reproduction. *)
+
+type instance = {
+  name : string;
+  graph : Bp_graph.Graph.t;
+  frame : Bp_geometry.Size.t;
+  rate : Bp_geometry.Rate.t;
+  n_frames : int;
+  checks : (string * (unit -> float)) list;
+      (** Per output: worst absolute difference against the golden
+          computation, over all frames. Call only after simulating. *)
+  expected_chunks : (string * int) list;
+      (** Per output: data chunks a full run must deliver to the sink. *)
+  collectors : (string * Bp_kernels.Sink.collector) list;
+  allowed_leftover : int;
+      (** Items legitimately still queued at quiescence — e.g. the final
+          feedback value circulating in a loop (0 for acyclic apps). *)
+}
+
+val period_s : instance -> float
+(** Seconds per input frame. *)
+
+val verify :
+  instance -> Bp_sim.Sim.result -> (string * float) list * bool
+(** [verify inst result] evaluates all checks; the boolean is true when
+    every check is exact (within 1e-9), every sink got the expected chunk
+    count, and the run left nothing queued. *)
+
+(** Helpers shared by the application builders. *)
+
+val add_source :
+  Bp_graph.Graph.t ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  frames:Bp_image.Image.t list ->
+  Bp_graph.Graph.node_id
+
+val add_sink :
+  Bp_graph.Graph.t ->
+  name:string ->
+  window:Bp_geometry.Window.t ->
+  Bp_kernels.Sink.collector ->
+  Bp_graph.Graph.node_id
+
+val sink_frames_as_images :
+  Bp_kernels.Sink.collector -> Bp_geometry.Size.t -> Bp_image.Image.t list
+(** Reassemble a sink's per-frame pixel chunks into images of the given
+    extent (for 1×1-chunk output streams). *)
+
+val max_diff_over_frames :
+  golden:Bp_image.Image.t list -> Bp_image.Image.t list -> float
+(** Worst pixel deviation across paired frames; [infinity] when the frame
+    counts differ. *)

@@ -1,0 +1,44 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+let v ?(seed = 11) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let demosaic = Graph.add g (K.Bayer.spec ~frame ()) in
+  let out_extent = Size.v (frame.Size.w - 2) (frame.Size.h - 2) in
+  let mk_plane plane =
+    let c = K.Sink.collector () in
+    let sink = App.add_sink g ~name:plane ~window:Window.pixel c in
+    Graph.connect g ~from:(demosaic, plane) ~into:(sink, "in");
+    (plane, c, sink)
+  in
+  Graph.connect g ~from:(src, "out") ~into:(demosaic, "in");
+  let planes = List.map mk_plane [ "r"; "g"; "b" ] in
+  let goldens =
+    List.map
+      (fun f ->
+        let r, gr, b = Ops.bayer_demosaic f in
+        [ ("r", r); ("g", gr); ("b", b) ])
+      frames
+  in
+  let check plane collector () =
+    let golden = List.map (fun per_frame -> List.assoc plane per_frame) goldens in
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector out_extent)
+  in
+  {
+    App.name = "bayer";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = List.map (fun (p, c, _) -> (p, check p c)) planes;
+    expected_chunks =
+      List.map (fun (p, _, _) -> (p, n_frames * Size.area out_extent)) planes;
+    collectors = List.map (fun (p, c, _) -> (p, c)) planes;
+    allowed_leftover = 0;
+  }

@@ -1,0 +1,14 @@
+(** Bayer demosaicing (benchmarks 1 / 1F of Figure 13).
+
+    A raw RGGB mosaic stream is demosaiced by a 3×3 position-dependent
+    kernel into red, green and blue planes, each delivered to its own
+    output. Exercises multi-output kernels and programmatic (strided)
+    parallelization. *)
+
+val v :
+  ?seed:int ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance

@@ -1,0 +1,14 @@
+(** Downsampling pipeline (extension example).
+
+    A 3×3 box blur followed by 2× decimation in both dimensions — exercises
+    window steps larger than the window (the model's downsampling case,
+    which the buffer kernel implements) and gain post-processing of the
+    decimated stream. *)
+
+val v :
+  ?seed:int ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance

@@ -1,0 +1,63 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+let sobel_x =
+  Image.of_scanline_list (Size.v 3 3)
+    [ -1.; 0.; 1.; -2.; 0.; 2.; -1.; 0.; 1. ]
+
+let sobel_y =
+  Image.of_scanline_list (Size.v 3 3)
+    [ -1.; -2.; -1.; 0.; 0.; 0.; 1.; 2.; 1. ]
+
+let v ?(seed = 77) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let conv name = Graph.add g ~name (K.Conv.spec ~w:3 ~h:3 ()) in
+  let gx = conv "Sobel X" and gy = conv "Sobel Y" in
+  let coeff name chunk =
+    Graph.add g ~name (K.Source.const ~class_name:name ~chunk ())
+  in
+  let cx = coeff "Sobel X Coeff" sobel_x in
+  let cy = coeff "Sobel Y Coeff" sobel_y in
+  let abs_x = Graph.add g ~name:"Abs X" (K.Arith.abs_val ()) in
+  let abs_y = Graph.add g ~name:"Abs Y" (K.Arith.abs_val ()) in
+  let magnitude = Graph.add g ~name:"Magnitude" (K.Arith.add2 ()) in
+  let collector = K.Sink.collector () in
+  let sink = App.add_sink g ~name:"edges" ~window:Window.pixel collector in
+  Graph.connect g ~from:(src, "out") ~into:(gx, "in");
+  Graph.connect g ~from:(cx, "out") ~into:(gx, "coeff");
+  Graph.connect g ~from:(src, "out") ~into:(gy, "in");
+  Graph.connect g ~from:(cy, "out") ~into:(gy, "coeff");
+  Graph.connect g ~from:(gx, "out") ~into:(abs_x, "in");
+  Graph.connect g ~from:(gy, "out") ~into:(abs_y, "in");
+  Graph.connect g ~from:(abs_x, "out") ~into:(magnitude, "in0");
+  Graph.connect g ~from:(abs_y, "out") ~into:(magnitude, "in1");
+  Graph.connect g ~from:(magnitude, "out") ~into:(sink, "in");
+  let out_extent = Size.v (frame.Size.w - 2) (frame.Size.h - 2) in
+  let golden =
+    List.map
+      (fun f ->
+        let ax = Image.map Float.abs (Ops.convolve f ~kernel:sobel_x) in
+        let ay = Image.map Float.abs (Ops.convolve f ~kernel:sobel_y) in
+        Image.map2 ( +. ) ax ay)
+      frames
+  in
+  let check () =
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector out_extent)
+  in
+  {
+    App.name = "edge-detect";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("magnitude", check) ];
+    expected_chunks = [ ("edges", n_frames * Size.area out_extent) ];
+    collectors = [ ("edges", collector) ];
+    allowed_leftover = 0;
+  }

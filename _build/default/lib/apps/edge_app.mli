@@ -1,0 +1,15 @@
+(** Sobel-style edge detection (extension example).
+
+    Two asymmetric 3×3 gradient convolutions over the same input, absolute
+    values, and a two-input sum approximating the gradient magnitude —
+    exercises coefficient flipping (the kernels are asymmetric), fan-out of
+    one source into two filter branches of *equal* depth (no alignment
+    repair needed), and a three-level reconvergence. *)
+
+val v :
+  ?seed:int ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance

@@ -1,0 +1,63 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module K = Bp_kernels
+
+let coefficient = 0.5
+let initial_value = 0.
+
+let v ?(seed = 67) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create ~allow_cycles:true () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let combine =
+    Graph.add g
+      (K.Feedback.loop_combine ~class_name:"IIR"
+         (fun x y_prev -> x +. (coefficient *. y_prev)))
+  in
+  let init =
+    Graph.add g
+      ~meta:(Graph.Feedback_init_meta { extent = frame; rate })
+      (K.Feedback.init ~window:Window.pixel
+         ~initial:[ Image.Gen.constant Size.one initial_value ]
+         ())
+  in
+  let collector = K.Sink.collector () in
+  let sink = App.add_sink g ~name:"result" ~window:Window.pixel collector in
+  Graph.connect g ~from:(src, "out") ~into:(combine, "in0");
+  Graph.connect g ~from:(combine, "out") ~into:(sink, "in");
+  Graph.connect g ~from:(combine, "out") ~into:(init, "in");
+  Graph.connect g ~from:(init, "out") ~into:(combine, "in1");
+  (* Golden: the scan-line recurrence, continuous across frames. *)
+  let golden =
+    (* Explicit scan-line loops: the recurrence depends on pixel order. *)
+    let y = ref initial_value in
+    List.map
+      (fun f ->
+        let out = Image.create frame in
+        for row = 0 to frame.Size.h - 1 do
+          for x = 0 to frame.Size.w - 1 do
+            let v = Image.get f ~x ~y:row +. (coefficient *. !y) in
+            y := v;
+            Image.set out ~x ~y:row v
+          done
+        done;
+        out)
+      frames
+  in
+  let check () =
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector frame)
+  in
+  {
+    App.name = "feedback-iir";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("accumulated", check) ];
+    expected_chunks = [ ("result", n_frames * Size.area frame) ];
+    collectors = [ ("result", collector) ];
+    (* The last feedback value stays queued at the loop-combine input. *)
+    allowed_leftover = 1;
+  }

@@ -1,0 +1,47 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module K = Bp_kernels
+
+let bins = 32
+let lo = 0.
+let hi = 32.
+
+let v ?(seed = 23) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let hist = Graph.add g (K.Histogram.spec ~bins ()) in
+  let hist_bins =
+    Graph.add g ~name:"Hist Bins"
+      (K.Source.const ~class_name:"Hist Bins"
+         ~chunk:(K.Histogram.bin_lower_bounds ~bins ~lo ~hi)
+         ())
+  in
+  let merge = Graph.add g (K.Histogram.merge ~bins ()) in
+  let collector = K.Sink.collector () in
+  let sink =
+    App.add_sink g ~name:"result" ~window:(Window.block bins 1) collector
+  in
+  Graph.connect g ~from:(src, "out") ~into:(hist, "in");
+  Graph.connect g ~from:(hist_bins, "out") ~into:(hist, "bins");
+  Graph.connect g ~from:(hist, "out") ~into:(merge, "in");
+  Graph.connect g ~from:(merge, "out") ~into:(sink, "in");
+  Graph.add_dep g ~src ~dst:merge;
+  let golden =
+    List.map (fun f -> K.Histogram.reference f ~bins ~lo ~hi) frames
+  in
+  let check () =
+    App.max_diff_over_frames ~golden (K.Sink.chunks collector)
+  in
+  {
+    App.name = "histogram";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("histogram", check) ];
+    expected_chunks = [ ("result", n_frames) ];
+    collectors = [ ("result", collector) ];
+    allowed_leftover = 0;
+  }

@@ -1,0 +1,85 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+let bins = 16
+let hist_lo = -8.
+let hist_hi = 8.
+
+let coefficients =
+  Image.Gen.constant (Size.v 5 5) (1. /. 25.)
+
+let golden ~policy frames =
+  List.map
+    (fun f ->
+      let diff =
+        match (policy : Bp_transform.Align.policy) with
+        | Bp_transform.Align.Trim ->
+          let med = Ops.median f ~w:3 ~h:3 in
+          let conv = Ops.convolve f ~kernel:coefficients in
+          Ops.subtract (Ops.trim med ~left:1 ~right:1 ~top:1 ~bottom:1) conv
+        | Bp_transform.Align.Pad_zero ->
+          let med = Ops.median f ~w:3 ~h:3 in
+          let padded = Ops.pad_zero f ~left:1 ~right:1 ~top:1 ~bottom:1 in
+          let conv = Ops.convolve padded ~kernel:coefficients in
+          Ops.subtract med conv
+      in
+      K.Histogram.reference diff ~bins ~lo:hist_lo ~hi:hist_hi)
+    frames
+
+let v ?(policy = Bp_transform.Align.Trim) ?(seed = 7) ~frame ~rate ~n_frames
+    () =
+  if frame.Size.w < 10 || frame.Size.h < 10 then
+    Bp_util.Err.invalidf "image pipeline needs at least a 10x10 frame";
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let median = Graph.add g (K.Median.spec ~w:3 ~h:3 ()) in
+  let conv = Graph.add g (K.Conv.spec ~w:5 ~h:5 ()) in
+  let coeff =
+    Graph.add g ~name:"5x5 Coeff"
+      (K.Source.const ~class_name:"5x5 Coeff" ~chunk:coefficients ())
+  in
+  let subtract = Graph.add g (K.Arith.subtract ()) in
+  let hist = Graph.add g (K.Histogram.spec ~bins ()) in
+  let hist_bins =
+    Graph.add g ~name:"Hist Bins"
+      (K.Source.const ~class_name:"Hist Bins"
+         ~chunk:(K.Histogram.bin_lower_bounds ~bins ~lo:hist_lo ~hi:hist_hi)
+         ())
+  in
+  let merge = Graph.add g (K.Histogram.merge ~bins ()) in
+  let collector = K.Sink.collector () in
+  let sink =
+    App.add_sink g ~name:"result"
+      ~window:(Window.block bins 1)
+      collector
+  in
+  Graph.connect g ~from:(src, "out") ~into:(median, "in");
+  Graph.connect g ~from:(src, "out") ~into:(conv, "in");
+  Graph.connect g ~from:(coeff, "out") ~into:(conv, "coeff");
+  Graph.connect g ~from:(median, "out") ~into:(subtract, "in0");
+  Graph.connect g ~from:(conv, "out") ~into:(subtract, "in1");
+  Graph.connect g ~from:(subtract, "out") ~into:(hist, "in");
+  Graph.connect g ~from:(hist_bins, "out") ~into:(hist, "bins");
+  Graph.connect g ~from:(hist, "out") ~into:(merge, "in");
+  Graph.connect g ~from:(merge, "out") ~into:(sink, "in");
+  (* One merge instance per input frame (Section IV-B). *)
+  Graph.add_dep g ~src ~dst:merge;
+  let expected = golden ~policy frames in
+  let check () =
+    App.max_diff_over_frames ~golden:expected (K.Sink.chunks collector)
+  in
+  {
+    App.name = "image-pipeline";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("histogram", check) ];
+    expected_chunks = [ ("result", n_frames) ];
+    collectors = [ ("result", collector) ];
+    allowed_leftover = 0;
+  }

@@ -1,0 +1,79 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module K = Bp_kernels
+
+let bins = 8
+let lo = 0.
+let hi = 8.
+
+let v ?(seed = 41) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  (* One-frame delay line: a full frame of zero-valued initial chunks. *)
+  let delay =
+    Graph.add g ~name:"Frame Delay"
+      (K.Feedback.init ~class_name:"Frame Delay" ~window:Window.pixel
+         ~initial:
+           (List.init (Size.area frame) (fun _ ->
+                Image.Gen.constant Size.one 0.))
+         ())
+  in
+  let change =
+    Graph.add g
+      (K.Feedback.loop_combine ~class_name:"Change"
+         (fun current previous -> Float.abs (current -. previous)))
+  in
+  let hist = Graph.add g (K.Histogram.spec ~bins ()) in
+  let bounds =
+    Graph.add g ~name:"Motion Bins"
+      (K.Source.const ~class_name:"Motion Bins"
+         ~chunk:(K.Histogram.bin_lower_bounds ~bins ~lo ~hi)
+         ())
+  in
+  let merge = Graph.add g (K.Histogram.merge ~bins ()) in
+  let collector = K.Sink.collector () in
+  let sink =
+    App.add_sink g ~name:"motion" ~window:(Window.block bins 1) collector
+  in
+  Graph.connect g ~from:(src, "out") ~into:(change, "in0");
+  (* A one-frame delay holds a frame in flight: its input channel must be
+     deep enough to absorb the live frame while the initial frame drains. *)
+  Graph.connect g
+    ~capacity:(Size.area frame + frame.Size.h + 4)
+    ~from:(src, "out") ~into:(delay, "in");
+  Graph.connect g ~from:(delay, "out") ~into:(change, "in1");
+  Graph.connect g ~from:(change, "out") ~into:(hist, "in");
+  Graph.connect g ~from:(bounds, "out") ~into:(hist, "bins");
+  Graph.connect g ~from:(hist, "out") ~into:(merge, "in");
+  Graph.connect g ~from:(merge, "out") ~into:(sink, "in");
+  Graph.add_dep g ~src ~dst:merge;
+  (* Golden: per frame, |frame - previous| histogram (frame 0 diffs against
+     zeros). *)
+  let golden =
+    let zero = Image.Gen.constant frame 0. in
+    let rec walk prev = function
+      | [] -> []
+      | f :: rest ->
+        let diff = Image.map2 (fun a b -> Float.abs (a -. b)) f prev in
+        K.Histogram.reference diff ~bins ~lo ~hi :: walk f rest
+    in
+    walk zero frames
+  in
+  let check () =
+    App.max_diff_over_frames ~golden (K.Sink.chunks collector)
+  in
+  {
+    App.name = "motion-detect";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("motion histogram", check) ];
+    expected_chunks = [ ("motion", n_frames) ];
+    collectors = [ ("motion", collector) ];
+    (* The delay line still holds the final frame (plus its trailing
+       tokens) when the input ends. *)
+    allowed_leftover = Size.area frame + frame.Size.h + 4;
+  }

@@ -1,0 +1,68 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+let k5 = Image.Gen.constant (Size.v 5 5) 0.04
+let k3a = Image.Gen.constant (Size.v 3 3) (1. /. 9.)
+
+let k3b =
+  (* A small sharpening-style kernel; asymmetric so coefficient flipping
+     is actually exercised. *)
+  Image.init (Size.v 3 3) (fun ~x ~y ->
+      if x = 1 && y = 1 then 2. else -0.125 *. float_of_int (x + y))
+
+let v ?(seed = 31) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let conv_a = Graph.add g ~name:"3x3 Conv A" (K.Conv.spec ~w:3 ~h:3 ()) in
+  let conv_b = Graph.add g ~name:"3x3 Conv B" (K.Conv.spec ~w:3 ~h:3 ()) in
+  let conv_c = Graph.add g ~name:"5x5 Conv C" (K.Conv.spec ~w:5 ~h:5 ()) in
+  let coeff name chunk =
+    Graph.add g ~name (K.Source.const ~class_name:name ~chunk ())
+  in
+  let ca = coeff "Coeff A" k3a in
+  let cb = coeff "Coeff B" k3b in
+  let cc = coeff "Coeff C" k5 in
+  let subtract = Graph.add g (K.Arith.subtract ()) in
+  let collector = K.Sink.collector () in
+  let sink = App.add_sink g ~name:"result" ~window:Window.pixel collector in
+  Graph.connect g ~from:(src, "out") ~into:(conv_a, "in");
+  Graph.connect g ~from:(ca, "out") ~into:(conv_a, "coeff");
+  Graph.connect g ~from:(conv_a, "out") ~into:(conv_b, "in");
+  Graph.connect g ~from:(cb, "out") ~into:(conv_b, "coeff");
+  Graph.connect g ~from:(src, "out") ~into:(conv_c, "in");
+  Graph.connect g ~from:(cc, "out") ~into:(conv_c, "coeff");
+  Graph.connect g ~from:(conv_b, "out") ~into:(subtract, "in0");
+  Graph.connect g ~from:(conv_c, "out") ~into:(subtract, "in1");
+  Graph.connect g ~from:(subtract, "out") ~into:(sink, "in");
+  (* Cascade inset: 1+1 = 2 per side; 5x5 branch inset: 2 per side — the
+     two branches align exactly, which itself is a property worth testing;
+     the subtraction output is (W-4)x(H-4). *)
+  let out_extent = Size.v (frame.Size.w - 4) (frame.Size.h - 4) in
+  let golden =
+    List.map
+      (fun f ->
+        let a = Ops.convolve f ~kernel:k3a in
+        let b = Ops.convolve a ~kernel:k3b in
+        let c = Ops.convolve f ~kernel:k5 in
+        Ops.subtract b c)
+      frames
+  in
+  let check () =
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector out_extent)
+  in
+  {
+    App.name = "multi-conv";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("difference", check) ];
+    expected_chunks = [ ("result", n_frames * Size.area out_extent) ];
+    collectors = [ ("result", collector) ];
+    allowed_leftover = 0;
+  }

@@ -1,0 +1,14 @@
+(** Multiple convolutions test (benchmark 4 of Figure 13).
+
+    Two cascaded convolutions on one branch and a third on a parallel
+    branch, recombined by a subtraction — exercises chained buffers, deep
+    inset accumulation (the cascade insets 2+1 pixels, the single filter 1)
+    and alignment repair across branches of different depth. *)
+
+val v :
+  ?seed:int ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance

@@ -1,0 +1,39 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+let kernel5 = Image.Gen.constant (Size.v 5 5) (1. /. 25.)
+
+let v ?(seed = 47) ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let conv = Graph.add g (K.Conv.spec ~w:5 ~h:5 ()) in
+  let coeff =
+    Graph.add g ~name:"5x5 Coeff"
+      (K.Source.const ~class_name:"5x5 Coeff" ~chunk:kernel5 ())
+  in
+  let collector = K.Sink.collector () in
+  let sink = App.add_sink g ~name:"result" ~window:Window.pixel collector in
+  Graph.connect g ~from:(src, "out") ~into:(conv, "in");
+  Graph.connect g ~from:(coeff, "out") ~into:(conv, "coeff");
+  Graph.connect g ~from:(conv, "out") ~into:(sink, "in");
+  let out_extent = Size.v (frame.Size.w - 4) (frame.Size.h - 4) in
+  let golden = List.map (fun f -> Ops.convolve f ~kernel:kernel5) frames in
+  let check () =
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector out_extent)
+  in
+  {
+    App.name = "parallel-buffer";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("filtered", check) ];
+    expected_chunks = [ ("result", n_frames * Size.area out_extent) ];
+    collectors = [ ("result", collector) ];
+    allowed_leftover = 0;
+  }

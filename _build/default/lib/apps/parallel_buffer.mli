@@ -1,0 +1,14 @@
+(** Parallel buffer test (benchmark 3 of Figure 13).
+
+    A wide frame through a single 5×5 box filter. On a memory-starved
+    machine the input buffer cannot hold enough rows of the wide frame, so
+    the compiler must split it column-wise with overlap replication
+    (Figure 10) — this application exists to exercise exactly that path. *)
+
+val v :
+  ?seed:int ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance

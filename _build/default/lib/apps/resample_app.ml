@@ -1,0 +1,63 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+let up_factor = 2
+let down_factor = 3
+let taps = 5
+let fir_coeffs = Image.Gen.constant (Size.v taps 1) (1. /. float_of_int taps)
+
+let reference frame_w f =
+  let expanded =
+    K.Upsample.reference ~mode:K.Upsample.Zero_stuff ~fx:up_factor ~fy:1 f
+  in
+  let filtered = Ops.convolve expanded ~kernel:fir_coeffs in
+  ignore frame_w;
+  Ops.downsample filtered ~fx:down_factor ~fy:1
+
+let v ?(seed = 83) ~frame ~rate ~n_frames () =
+  if frame.Size.h <> 1 then
+    Bp_util.Err.invalidf "resampler expects row frames (height 1)";
+  if frame.Size.w * up_factor < taps + down_factor then
+    Bp_util.Err.invalidf "resampler frame too narrow";
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let expand =
+    Graph.add g
+      (K.Upsample.spec ~mode:K.Upsample.Zero_stuff ~fx:up_factor ~fy:1 ())
+  in
+  let fir = Graph.add g ~name:"FIR" (K.Conv.spec ~w:taps ~h:1 ()) in
+  let coeff =
+    Graph.add g ~name:"FIR Taps"
+      (K.Source.const ~class_name:"FIR Taps" ~chunk:fir_coeffs ())
+  in
+  let dec = Graph.add g (K.Decimate.spec ~fx:down_factor ~fy:1 ()) in
+  let collector = K.Sink.collector () in
+  let sink =
+    App.add_sink g ~name:"resampled" ~window:Window.pixel collector
+  in
+  Graph.connect g ~from:(src, "out") ~into:(expand, "in");
+  Graph.connect g ~from:(expand, "out") ~into:(fir, "in");
+  Graph.connect g ~from:(coeff, "out") ~into:(fir, "coeff");
+  Graph.connect g ~from:(fir, "out") ~into:(dec, "in");
+  Graph.connect g ~from:(dec, "out") ~into:(sink, "in");
+  let golden = List.map (reference frame.Size.w) frames in
+  let out_extent = Image.size (List.hd golden) in
+  let check () =
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector out_extent)
+  in
+  {
+    App.name = "resample";
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("resampled", check) ];
+    expected_chunks = [ ("resampled", n_frames * Size.area out_extent) ];
+    collectors = [ ("resampled", collector) ];
+    allowed_leftover = 0;
+  }

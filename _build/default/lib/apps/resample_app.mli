@@ -1,0 +1,23 @@
+(** Rational sample-rate conversion (extension example).
+
+    The classic 1-D DSP expander/filter/decimator cascade over row frames:
+    zero-stuff by L, low-pass with an N-tap FIR, decimate by M. Exercises a
+    block-producing kernel (the expander's 1×L output tiles) feeding a
+    windowed consumer — the compiler inserts a block-fed buffer — plus a
+    downsampling buffer for the decimator, all verified against a
+    whole-row reference. *)
+
+val up_factor : int  (** L = 2 *)
+
+val down_factor : int  (** M = 3 *)
+
+val taps : int  (** 5-tap averaging FIR *)
+
+val v :
+  ?seed:int ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance
+(** [frame] must be a row frame (height 1) wide enough for the cascade. *)

@@ -1,0 +1,102 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module Ops = Bp_image.Ops
+module K = Bp_kernels
+
+type variant = Round_robin | Blocked | Blocked_buffered
+
+let variant_name = function
+  | Round_robin -> "round-robin"
+  | Blocked -> "blocked, minimal output buffering"
+  | Blocked_buffered -> "blocked, double-buffered outputs"
+
+let kernel5 = Image.Gen.constant (Size.v 5 5) (1. /. 25.)
+
+let v ?(seed = 61) ~variant ~frame ~rate ~n_frames () =
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let g = Graph.create () in
+  let src = App.add_source g ~frame ~rate ~frames in
+  let window = Bp_kernels.Conv.input_window ~w:5 ~h:5 in
+  let buf_cfg = K.Buffer.config ~out_window:window ~frame () in
+  let buf =
+    Graph.add g
+      ~meta:(Graph.Buffer_meta { storage = K.Buffer.storage buf_cfg })
+      (K.Buffer.spec buf_cfg)
+  in
+  let windows_per_row = frame.Size.w - 4 in
+  let deep = (2 * windows_per_row) + 4 in
+  (* Input-side depth is the b0/b1 split buffers of Figure 9(b); output-side
+     depth is the bo0/bo1 buffers that Figure 9(c) adds. *)
+  let pattern, in_capacity, out_capacity =
+    match variant with
+    | Round_robin -> (None, Graph.default_capacity, Graph.default_capacity)
+    | Blocked ->
+      (* Only the implicit one-iteration buffering on the outputs. *)
+      (Some [| windows_per_row; windows_per_row |], deep, 4)
+    | Blocked_buffered ->
+      (Some [| windows_per_row; windows_per_row |], deep, deep)
+  in
+  let split =
+    Graph.add g
+      ~meta:(Graph.Split_meta { ways = 2 })
+      (K.Split_join.split ?pattern ~window ~ways:2 ())
+  in
+  let join =
+    Graph.add g
+      ~meta:
+        (match pattern with
+        | None -> Graph.Join_meta { ways = 2 }
+        | Some pattern ->
+          Graph.Pattern_join_meta
+            {
+              pattern;
+              out_extent = Size.v (frame.Size.w - 4) (frame.Size.h - 4);
+            })
+      (K.Split_join.join ?pattern ~window:Window.pixel ~ways:2 ())
+  in
+  let convs =
+    List.init 2 (fun k ->
+        Graph.add g
+          ~name:(Printf.sprintf "5x5 Conv_%d" k)
+          (K.Conv.spec ~w:5 ~h:5 ()))
+  in
+  let coeff =
+    Graph.add g ~name:"5x5 Coeff"
+      (K.Source.const ~class_name:"5x5 Coeff" ~chunk:kernel5 ())
+  in
+  let replicate =
+    Graph.add g (K.Split_join.replicate ~window:(Window.block 5 5) ())
+  in
+  let collector = K.Sink.collector () in
+  let sink = App.add_sink g ~name:"result" ~window:Window.pixel collector in
+  Graph.connect g ~from:(src, "out") ~into:(buf, "in");
+  Graph.connect g ~from:(buf, "out") ~into:(split, "in");
+  Graph.connect g ~from:(coeff, "out") ~into:(replicate, "in");
+  List.iteri
+    (fun k conv ->
+      Graph.connect g ~capacity:in_capacity
+        ~from:(split, Printf.sprintf "out%d" k)
+        ~into:(conv, "in");
+      Graph.connect g ~from:(replicate, "out") ~into:(conv, "coeff");
+      Graph.connect g ~capacity:out_capacity ~from:(conv, "out")
+        ~into:(join, Printf.sprintf "in%d" k))
+    convs;
+  Graph.connect g ~from:(join, "out") ~into:(sink, "in");
+  let out_extent = Size.v (frame.Size.w - 4) (frame.Size.h - 4) in
+  let golden = List.map (fun f -> Ops.convolve f ~kernel:kernel5) frames in
+  let check () =
+    App.max_diff_over_frames ~golden
+      (App.sink_frames_as_images collector out_extent)
+  in
+  {
+    App.name = "reuse-" ^ variant_name variant;
+    graph = g;
+    frame;
+    rate;
+    n_frames;
+    checks = [ ("filtered", check) ];
+    expected_chunks = [ ("result", n_frames * Size.area out_extent) ];
+    collectors = [ ("result", collector) ];
+    allowed_leftover = 0;
+  }

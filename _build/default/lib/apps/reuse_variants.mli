@@ -1,0 +1,29 @@
+(** The buffering-for-reuse ablation of Figure 9.
+
+    Three hand-built parallelizations of one 5×5 convolution over a buffered
+    input, mirroring the paper's three sub-figures:
+
+    - [Round_robin] — the baseline the compiler emits: windows alternate
+      between the two convolution instances (Figure 9(a));
+    - [Blocked] — whole window-rows go to each instance in turn, the
+      distribution that would let each instance reuse its window columns,
+      but with only the implicit iteration buffering on its output channels
+      (Figure 9(b)): the pattern join forces the instances into lockstep and
+      the input ends up stalling;
+    - [Blocked_buffered] — the same distribution with output channels deep
+      enough to double-buffer a full run (Figure 9(c)), restoring rate.
+
+    All three compute identical pixels; only timing differs. *)
+
+type variant = Round_robin | Blocked | Blocked_buffered
+
+val variant_name : variant -> string
+
+val v :
+  ?seed:int ->
+  variant:variant ->
+  frame:Bp_geometry.Size.t ->
+  rate:Bp_geometry.Rate.t ->
+  n_frames:int ->
+  unit ->
+  App.instance

@@ -1,0 +1,106 @@
+open Bp_geometry
+module Machine = Bp_machine.Machine
+
+type entry = {
+  label : string;
+  description : string;
+  machine : Machine.t;
+  build : unit -> App.instance;
+}
+
+let small = Size.v 24 18
+let big = Size.v 48 36
+let slow = Rate.hz 20.
+let fast = Rate.hz 40.
+let n_frames = 3
+
+let entries =
+  [
+    {
+      label = "1";
+      description = "Bayer demosaicing, baseline rate";
+      machine = Machine.default;
+      build =
+        (fun () ->
+          Bayer_app.v ~frame:(Size.v 20 16) ~rate:(Rate.hz 30.) ~n_frames ());
+    };
+    {
+      label = "1F";
+      description = "Bayer demosaicing, faster rate";
+      machine = Machine.default;
+      build =
+        (fun () ->
+          Bayer_app.v ~frame:(Size.v 20 16) ~rate:(Rate.hz 120.) ~n_frames ());
+    };
+    {
+      label = "2";
+      description = "Image histogram, baseline rate";
+      machine = Machine.default;
+      build = (fun () -> Histogram_app.v ~frame:small ~rate:(Rate.hz 40.) ~n_frames ());
+    };
+    {
+      label = "2F";
+      description = "Image histogram, faster rate";
+      machine = Machine.default;
+      build =
+        (fun () -> Histogram_app.v ~frame:small ~rate:(Rate.hz 160.) ~n_frames ());
+    };
+    {
+      label = "3";
+      description = "Parallel buffer test (memory-starved machine)";
+      machine = Machine.small_memory;
+      build =
+        (fun () ->
+          Parallel_buffer.v ~frame:(Size.v 96 16) ~rate:(Rate.hz 20.) ~n_frames ());
+    };
+    {
+      label = "4";
+      description = "Multiple convolutions test";
+      machine = Machine.default;
+      build =
+        (fun () ->
+          Multi_conv.v ~frame:(Size.v 20 16) ~rate:(Rate.hz 40.) ~n_frames ());
+    };
+    {
+      label = "SS";
+      description = "Image processing example, small input, slow rate";
+      machine = Machine.small_memory;
+      build =
+        (fun () -> Image_pipeline.v ~frame:small ~rate:slow ~n_frames ());
+    };
+    {
+      label = "SF";
+      description = "Image processing example, small input, fast rate";
+      machine = Machine.small_memory;
+      build =
+        (fun () -> Image_pipeline.v ~frame:small ~rate:fast ~n_frames ());
+    };
+    {
+      label = "BS";
+      description = "Image processing example, big input, slow rate";
+      machine = Machine.small_memory;
+      build = (fun () -> Image_pipeline.v ~frame:big ~rate:slow ~n_frames ());
+    };
+    {
+      label = "BF";
+      description = "Image processing example, big input, fast rate";
+      machine = Machine.small_memory;
+      build = (fun () -> Image_pipeline.v ~frame:big ~rate:fast ~n_frames ());
+    };
+    {
+      label = "5";
+      description = "Application of Figure 1(b)";
+      machine = Machine.default;
+      build =
+        (fun () -> Image_pipeline.v ~frame:small ~rate:(Rate.hz 30.) ~n_frames ());
+    };
+  ]
+
+let labels = List.map (fun e -> e.label) entries
+
+let by_label l =
+  match List.find_opt (fun e -> String.equal e.label l) entries with
+  | Some e -> e
+  | None ->
+    Bp_util.Err.unsupportedf "unknown benchmark %S (expected one of %s)" l
+      (String.concat ", " labels)

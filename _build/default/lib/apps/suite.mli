@@ -1,0 +1,25 @@
+(** The benchmark suite of Figure 13.
+
+    Eleven configurations, as listed in the figure's caption: Bayer
+    demosaicing at baseline and faster rates (1, 1F), image histogram at
+    baseline and faster rates (2, 2F), the parallel-buffer test (3), the
+    multiple-convolutions test (4), the image-processing example at four
+    input size/rate corners (SS, SF, BS, BF), and the Figure 1(b)
+    application (5). Each entry carries the machine it targets — the
+    parallel-buffer test runs on the memory-starved machine, everything
+    else on the default. *)
+
+type entry = {
+  label : string;
+  description : string;
+  machine : Bp_machine.Machine.t;
+  build : unit -> App.instance;
+}
+
+val entries : entry list
+(** In the paper's order: 1, 1F, 2, 2F, 3, 4, SS, SF, BS, BF, 5. *)
+
+val by_label : string -> entry
+(** Fails with {!Bp_util.Err.Unsupported} on unknown labels. *)
+
+val labels : string list

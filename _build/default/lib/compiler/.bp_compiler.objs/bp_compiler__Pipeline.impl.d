@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Bp_analysis Bp_graph Bp_machine Bp_sim Bp_transform Bp_util Err Format List

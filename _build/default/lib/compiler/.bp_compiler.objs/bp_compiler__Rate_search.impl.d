@@ -1,0 +1,1 @@
+lib/compiler/rate_search.ml: Bp_machine Bp_transform Bp_util List Pipeline

@@ -1,0 +1,1 @@
+lib/compiler/rate_search.mli: Bp_graph Bp_machine

@@ -1,0 +1,70 @@
+open Bp_util
+module Graph = Bp_graph.Graph
+module Machine = Bp_machine.Machine
+module Align = Bp_transform.Align
+module Buffering = Bp_transform.Buffering
+module Parallelize = Bp_transform.Parallelize
+module Multiplex = Bp_transform.Multiplex
+module Dataflow = Bp_analysis.Dataflow
+module Mapping = Bp_sim.Mapping
+
+type t = {
+  graph : Graph.t;
+  machine : Machine.t;
+  repairs : Align.repair list;
+  buffers : Buffering.inserted list;
+  decisions : Parallelize.decision list;
+  analysis : Dataflow.t;
+}
+
+let compile ?align_policy ~machine g =
+  Graph.validate g;
+  ignore (Dataflow.analyze g);
+  let repairs = Align.run ?policy:align_policy g in
+  let buffers = Buffering.run g in
+  let decisions = Parallelize.run machine g in
+  let analysis = Dataflow.analyze g in
+  if Dataflow.misalignments analysis <> [] then
+    Err.alignf "internal: misalignment survived compilation";
+  List.iter
+    (fun c ->
+      if Dataflow.needs_buffer analysis c then
+        Err.graphf "internal: channel still needs a buffer after compilation")
+    (Graph.channels g);
+  { graph = g; machine; repairs; buffers; decisions; analysis }
+
+let mapping_one_to_one t = Mapping.one_to_one t.graph
+
+let mapping_greedy t =
+  let groups = Multiplex.greedy t.machine t.graph in
+  if List.length groups > t.machine.Machine.max_pes then
+    Err.resourcef "program needs %d PEs but the machine has %d"
+      (List.length groups) t.machine.Machine.max_pes;
+  Mapping.of_groups t.graph groups
+
+let processors_needed t ~greedy =
+  if greedy then List.length (Multiplex.greedy t.machine t.graph)
+  else List.length (Multiplex.one_to_one t.graph)
+
+let simulate ?max_time_s t ~greedy =
+  let mapping = if greedy then mapping_greedy t else mapping_one_to_one t in
+  Bp_sim.Sim.run ?max_time_s ~graph:t.graph ~mapping ~machine:t.machine ()
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "compiled: %d nodes (%d buffers inserted, %d repairs, %d kernels \
+     parallelized); 1:1 needs %d PEs, greedy needs %d PEs@,"
+    (Graph.size t.graph)
+    (List.length t.buffers) (List.length t.repairs)
+    (List.length t.decisions)
+    (processors_needed t ~greedy:false)
+    (processors_needed t ~greedy:true);
+  List.iter
+    (fun (d : Parallelize.decision) ->
+      Format.fprintf ppf "  %s -> x%d (%s)@," d.Parallelize.original
+        d.Parallelize.degree
+        (match d.Parallelize.reason with
+        | Parallelize.Cpu_bound -> "cpu"
+        | Parallelize.Memory_bound -> "memory"
+        | Parallelize.Capped_by_dependency -> "dependency-capped"))
+    t.decisions

@@ -1,0 +1,45 @@
+(** The end-to-end compilation pipeline.
+
+    [compile] takes a raw application graph (Figure 1(b)) and a machine and
+    drives it through the paper's sequence of automatic transformations:
+
+    + validate and analyze (Section III-A);
+    + repair alignment by trimming or padding (Section III-C, Figure 3);
+    + insert buffers (Section III-B, Figure 3);
+    + parallelize kernels and split buffers to meet the input rate
+      (Section IV, Figure 4);
+    + re-analyze and sanity-check the elaborated graph.
+
+    Mappings (1:1 or greedily multiplexed, Section V) are produced
+    separately so a compiled program can be simulated under both. *)
+
+type t = {
+  graph : Bp_graph.Graph.t;  (** The elaborated graph (mutated in place). *)
+  machine : Bp_machine.Machine.t;
+  repairs : Bp_transform.Align.repair list;
+  buffers : Bp_transform.Buffering.inserted list;
+  decisions : Bp_transform.Parallelize.decision list;
+  analysis : Bp_analysis.Dataflow.t;  (** Of the elaborated graph. *)
+}
+
+val compile :
+  ?align_policy:Bp_transform.Align.policy ->
+  machine:Bp_machine.Machine.t ->
+  Bp_graph.Graph.t ->
+  t
+(** Compile in place. Fails with the transform errors documented in
+    [Bp_transform] when the program cannot meet its constraints. *)
+
+val mapping_one_to_one : t -> Bp_sim.Mapping.t
+
+val mapping_greedy : t -> Bp_sim.Mapping.t
+(** Fails with {!Bp_util.Err.Resource_exhausted} when even the merged
+    mapping needs more processors than the machine has. *)
+
+val processors_needed : t -> greedy:bool -> int
+
+val simulate :
+  ?max_time_s:float -> t -> greedy:bool -> Bp_sim.Sim.result
+(** Convenience: simulate the compiled program under the chosen mapping. *)
+
+val pp_summary : Format.formatter -> t -> unit

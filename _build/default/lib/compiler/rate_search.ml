@@ -1,0 +1,61 @@
+module Machine = Bp_machine.Machine
+module Schedulability = Bp_transform.Schedulability
+
+type probe = { rate_hz : float; pes : int; fits : bool }
+
+type result = {
+  best_rate_hz : float;
+  best_pes : int;
+  probes : probe list;
+}
+
+let try_rate ~machine ~max_pes ~greedy build rate_hz =
+  match
+    Bp_util.Err.guard (fun () ->
+        let g = build ~rate_hz in
+        let compiled = Pipeline.compile ~machine g in
+        let pes = Pipeline.processors_needed compiled ~greedy in
+        let sched =
+          Schedulability.check machine compiled.Pipeline.graph
+        in
+        (pes, sched.Schedulability.schedulable))
+  with
+  | Ok (pes, schedulable) ->
+    { rate_hz; pes; fits = (schedulable && pes <= max_pes) }
+  | Error _ -> { rate_hz; pes = max_int; fits = false }
+
+let search ?(lo_hz = 1.) ?(hi_hz = 1000.) ?(iterations = 12) ?(greedy = true)
+    ~machine ~max_pes build =
+  if lo_hz <= 0. || hi_hz <= lo_hz then
+    Bp_util.Err.invalidf "rate search needs 0 < lo < hi";
+  let probes = ref [] in
+  let probe rate =
+    let p = try_rate ~machine ~max_pes ~greedy build rate in
+    probes := p :: !probes;
+    p
+  in
+  let first = probe lo_hz in
+  if not first.fits then
+    { best_rate_hz = 0.; best_pes = 0; probes = List.rev !probes }
+  else begin
+    let best = ref first in
+    let lo = ref lo_hz and hi = ref hi_hz in
+    (* If the top of the window fits, take it outright. *)
+    let top = probe hi_hz in
+    if top.fits then best := top
+    else
+      for _ = 1 to iterations do
+        let mid = (!lo +. !hi) /. 2. in
+        let p = probe mid in
+        if p.fits then begin
+          best := p;
+          lo := mid
+        end
+        else hi := mid
+      done;
+    {
+      best_rate_hz = !best.rate_hz;
+      best_pes = !best.pes;
+      probes = List.rev !probes;
+    }
+  end

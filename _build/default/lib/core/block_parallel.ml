@@ -1,0 +1,100 @@
+(** Block-parallel programming for real-time embedded applications.
+
+    The façade library: one alias per subsystem, so applications depend on a
+    single library and write [Block_parallel.Graph], [Block_parallel.Conv],
+    and so on. See the README for a tour and DESIGN.md for how the modules
+    map onto the paper.
+
+    {1 Geometry and data} *)
+
+module Size = Bp_geometry.Size
+module Step = Bp_geometry.Step
+module Offset = Bp_geometry.Offset
+module Window = Bp_geometry.Window
+module Inset = Bp_geometry.Inset
+module Rate = Bp_geometry.Rate
+module Image = Bp_image.Image
+module Image_ops = Bp_image.Ops
+module Token = Bp_token.Token
+
+(** {1 The kernel model} *)
+
+module Port = Bp_kernel.Port
+module Method_spec = Bp_kernel.Method_spec
+module Behaviour = Bp_kernel.Behaviour
+module Item = Bp_kernel.Item
+module Kernel = Bp_kernel.Spec
+
+(** {1 The standard kernel library} *)
+
+module Source = Bp_kernels.Source
+module Sink = Bp_kernels.Sink
+module Conv = Bp_kernels.Conv
+module Median = Bp_kernels.Median
+module Arith = Bp_kernels.Arith
+module Histogram = Bp_kernels.Histogram
+module Buffer = Bp_kernels.Buffer
+module Split_join = Bp_kernels.Split_join
+module Inset_pad = Bp_kernels.Inset_pad
+module Bayer = Bp_kernels.Bayer
+module Feedback = Bp_kernels.Feedback
+module Decimate = Bp_kernels.Decimate
+module Upsample = Bp_kernels.Upsample
+module Costs = Bp_kernels.Costs
+
+(** {1 Graph, machine, analyses} *)
+
+module Graph = Bp_graph.Graph
+module Machine = Bp_machine.Machine
+module Dataflow = Bp_analysis.Dataflow
+module Stream = Bp_analysis.Stream
+module Reuse = Bp_analysis.Reuse
+
+(** {1 Transforms and the compiler} *)
+
+module Buffering = Bp_transform.Buffering
+module Align = Bp_transform.Align
+module Parallelize = Bp_transform.Parallelize
+module Multiplex = Bp_transform.Multiplex
+module Schedulability = Bp_transform.Schedulability
+module Pipeline = Bp_compiler.Pipeline
+module Rate_search = Bp_compiler.Rate_search
+
+(** {1 Execution} *)
+
+module Mapping = Bp_sim.Mapping
+module Sim = Bp_sim.Sim
+module Trace = Bp_sim.Trace
+module Energy = Bp_sim.Energy
+module Placement = Bp_placement.Placement
+module Dot = Bp_viz.Dot
+
+(** {1 Applications} *)
+
+module App = Bp_apps.App
+module Apps = struct
+  module Image_pipeline = Bp_apps.Image_pipeline
+  module Bayer_app = Bp_apps.Bayer_app
+  module Histogram_app = Bp_apps.Histogram_app
+  module Multi_conv = Bp_apps.Multi_conv
+  module Parallel_buffer = Bp_apps.Parallel_buffer
+  module Downsample_app = Bp_apps.Downsample_app
+  module Edge_app = Bp_apps.Edge_app
+  module Motion_app = Bp_apps.Motion_app
+  module Resample_app = Bp_apps.Resample_app
+  module Feedback_app = Bp_apps.Feedback_app
+  module Reuse_variants = Bp_apps.Reuse_variants
+  module Suite = Bp_apps.Suite
+end
+
+(** {1 The textual language} *)
+
+module Lang = Bp_lang.Lang
+
+(** {1 Utilities} *)
+
+module Err = Bp_util.Err
+module Id = Bp_util.Id
+module Stats = Bp_util.Stats
+module Prng = Bp_util.Prng
+module Table = Bp_util.Table

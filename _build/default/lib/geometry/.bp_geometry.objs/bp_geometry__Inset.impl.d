@@ -1,0 +1,1 @@
+lib/geometry/inset.ml: Bp_util Err Float Format Size Window

@@ -1,0 +1,1 @@
+lib/geometry/inset.mli: Format Size Window

@@ -1,0 +1,1 @@
+lib/geometry/offset.ml: Bp_util Err Float Format Size

@@ -1,0 +1,1 @@
+lib/geometry/offset.mli: Format Size

@@ -1,0 +1,1 @@
+lib/geometry/rate.ml: Bp_util Err Float Format Size

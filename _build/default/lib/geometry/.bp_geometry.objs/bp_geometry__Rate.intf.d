@@ -1,0 +1,1 @@
+lib/geometry/rate.mli: Format Size

@@ -1,0 +1,1 @@
+lib/geometry/size.ml: Bp_util Err Format Int

@@ -1,0 +1,1 @@
+lib/geometry/step.ml: Bp_util Err Format Int Size

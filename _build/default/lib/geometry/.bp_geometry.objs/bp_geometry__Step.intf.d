@@ -1,0 +1,1 @@
+lib/geometry/step.mli: Format Size

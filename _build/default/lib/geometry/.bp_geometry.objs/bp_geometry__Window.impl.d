@@ -1,0 +1,1 @@
+lib/geometry/window.ml: Bp_util Err Format Offset Size Step

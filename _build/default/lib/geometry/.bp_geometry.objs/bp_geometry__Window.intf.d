@@ -1,0 +1,1 @@
+lib/geometry/window.mli: Format Offset Size Step

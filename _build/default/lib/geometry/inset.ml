@@ -1,0 +1,72 @@
+open Bp_util
+
+type t = { left : float; right : float; top : float; bottom : float }
+
+let v ~left ~right ~top ~bottom =
+  let bad f = not (Float.is_finite f) in
+  if bad left || bad right || bad top || bad bottom then
+    Err.invalidf "inset components must be finite";
+  { left; right; top; bottom }
+
+let zero = { left = 0.; right = 0.; top = 0.; bottom = 0. }
+let uniform m = v ~left:m ~right:m ~top:m ~bottom:m
+
+let of_window (w : Window.t) =
+  let hx, hy = Window.halo w in
+  v ~left:w.offset.ox ~top:w.offset.oy
+    ~right:(float_of_int hx -. w.offset.ox)
+    ~bottom:(float_of_int hy -. w.offset.oy)
+
+let add a b =
+  {
+    left = a.left +. b.left;
+    right = a.right +. b.right;
+    top = a.top +. b.top;
+    bottom = a.bottom +. b.bottom;
+  }
+
+let union a b =
+  {
+    left = Float.max a.left b.left;
+    right = Float.max a.right b.right;
+    top = Float.max a.top b.top;
+    bottom = Float.max a.bottom b.bottom;
+  }
+
+let diff ~target i =
+  {
+    left = target.left -. i.left;
+    right = target.right -. i.right;
+    top = target.top -. i.top;
+    bottom = target.bottom -. i.bottom;
+  }
+
+let dominates a b =
+  a.left >= b.left && a.right >= b.right && a.top >= b.top
+  && a.bottom >= b.bottom
+
+let equal a b =
+  Float.equal a.left b.left && Float.equal a.right b.right
+  && Float.equal a.top b.top && Float.equal a.bottom b.bottom
+
+let is_integral t =
+  let whole f = Float.equal (Float.round f) f in
+  whole t.left && whole t.right && whole t.top && whole t.bottom
+
+let to_int_sides t =
+  if not (is_integral t) then
+    Err.alignf "inset %g,%g,%g,%g is fractional; cannot trim exactly" t.left
+      t.right t.top t.bottom;
+  ( int_of_float t.left,
+    int_of_float t.right,
+    int_of_float t.top,
+    int_of_float t.bottom )
+
+let shrink_size (s : Size.t) t =
+  let l, r, tp, b = to_int_sides t in
+  Size.v (s.w - l - r) (s.h - tp - b)
+
+let pp ppf t =
+  Format.fprintf ppf "{l=%g r=%g t=%g b=%g}" t.left t.right t.top t.bottom
+
+let to_string t = Format.asprintf "%a" pp t

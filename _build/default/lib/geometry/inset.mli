@@ -1,0 +1,58 @@
+(** Insets: per-side margins relative to an original application input.
+
+    The alignment analysis (Section III-C, Figure 8) propagates, for every
+    stream in the graph, how far its data extent is inset from the frame of
+    the application input that produced it. A centered 3×3 median filter
+    insets its output by 1 on every side; a centered 5×5 convolution by 2.
+    Comparing insets at a multi-input kernel detects misalignment and sizes
+    the trim/pad repair. Margins are floats because fractional offsets are
+    allowed for downsampling kernels. *)
+
+type t = { left : float; right : float; top : float; bottom : float }
+
+val v : left:float -> right:float -> top:float -> bottom:float -> t
+(** Component constructor; components must be finite. *)
+
+val zero : t
+(** No inset — the stream covers the full input frame. *)
+
+val uniform : float -> t
+(** [uniform m] insets every side by [m]. *)
+
+val of_window : Window.t -> t
+(** [of_window w] is the inset a windowed kernel applies to its data:
+    [left = offset.ox], [top = offset.oy],
+    [right = halo_x - offset.ox], [bottom = halo_y - offset.oy].
+    A centered window splits its halo evenly. *)
+
+val add : t -> t -> t
+(** Composition along a kernel chain (insets accumulate). *)
+
+val union : t -> t -> t
+(** Per-side maximum: the inset of the intersection of two data extents.
+    This is the alignment target for a multi-input kernel. *)
+
+val diff : target:t -> t -> t
+(** [diff ~target i] is the extra trim needed to take a stream with inset
+    [i] to [target]. All components are non-negative when
+    [dominates target i]. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] is true when [a] insets at least as much as [b] on every
+    side. *)
+
+val equal : t -> t -> bool
+
+val is_integral : t -> bool
+(** True when all four margins are whole numbers (trimming is exact). *)
+
+val to_int_sides : t -> int * int * int * int
+(** [(left, right, top, bottom)] as integers. Fails with
+    {!Bp_util.Err.Alignment_error} when not {!is_integral}. *)
+
+val shrink_size : Size.t -> t -> Size.t
+(** [shrink_size s i] is [s] reduced by the (integral) inset margins. Fails
+    if the result would be empty. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Bp_geometry Bp_kernel Bp_util Err Format Hashtbl Id Int List Map Option Printf String

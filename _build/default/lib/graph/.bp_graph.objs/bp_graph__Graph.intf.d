@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Bp_geometry Bp_kernel Format

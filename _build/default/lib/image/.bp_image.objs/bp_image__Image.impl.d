@@ -1,0 +1,1 @@
+lib/image/image.ml: Array Bp_geometry Bp_util Float Format List Printf Size

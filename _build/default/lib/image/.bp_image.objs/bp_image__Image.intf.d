@@ -1,0 +1,1 @@
+lib/image/image.mli: Bp_geometry Bp_util Format

@@ -1,0 +1,1 @@
+lib/image/ops.ml: Array Bp_geometry Bp_util Float Image Printf Size

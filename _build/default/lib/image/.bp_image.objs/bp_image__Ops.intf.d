@@ -1,0 +1,1 @@
+lib/image/ops.mli: Image

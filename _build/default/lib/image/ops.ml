@@ -1,0 +1,169 @@
+open Bp_geometry
+
+let valid_extent img ~w ~h =
+  let iw = Image.width img and ih = Image.height img in
+  if iw < w || ih < h then
+    invalid_arg
+      (Printf.sprintf "Ops: %dx%d filter does not fit in %dx%d image" w h iw
+         ih);
+  Size.v (iw - w + 1) (ih - h + 1)
+
+let convolve img ~kernel =
+  let kw = Image.width kernel and kh = Image.height kernel in
+  let out = Image.create (valid_extent img ~w:kw ~h:kh) in
+  for oy = 0 to Image.height out - 1 do
+    for ox = 0 to Image.width out - 1 do
+      let acc = ref 0. in
+      for ky = 0 to kh - 1 do
+        for kx = 0 to kw - 1 do
+          (* Coefficients are applied flipped, as in the paper's Figure 6
+             ([coeff[width-x-1][height-y-1]]). *)
+          acc :=
+            !acc
+            +. Image.get img ~x:(ox + kx) ~y:(oy + ky)
+               *. Image.get kernel ~x:(kw - kx - 1) ~y:(kh - ky - 1)
+        done
+      done;
+      Image.set out ~x:ox ~y:oy !acc
+    done
+  done;
+  out
+
+let median img ~w ~h =
+  let out = Image.create (valid_extent img ~w ~h) in
+  let window = Array.make (w * h) 0. in
+  for oy = 0 to Image.height out - 1 do
+    for ox = 0 to Image.width out - 1 do
+      let i = ref 0 in
+      for ky = 0 to h - 1 do
+        for kx = 0 to w - 1 do
+          window.(!i) <- Image.get img ~x:(ox + kx) ~y:(oy + ky);
+          incr i
+        done
+      done;
+      Array.sort Float.compare window;
+      let n = w * h in
+      let m =
+        if n mod 2 = 1 then window.(n / 2)
+        else (window.((n / 2) - 1) +. window.(n / 2)) /. 2.
+      in
+      Image.set out ~x:ox ~y:oy m
+    done
+  done;
+  out
+
+let subtract a b = Image.map2 ( -. ) a b
+let gain img k = Image.map (fun v -> v *. k) img
+
+let histogram img ~bins ~lo ~hi =
+  if bins <= 0 then invalid_arg "Ops.histogram: bins must be positive";
+  if not (hi > lo) then invalid_arg "Ops.histogram: empty range";
+  let counts = Array.make bins 0. in
+  let width = (hi -. lo) /. float_of_int bins in
+  Image.iter_pixels
+    (fun ~x:_ ~y:_ v ->
+      let b = int_of_float (Float.floor ((v -. lo) /. width)) in
+      let b = Bp_util.Stats.clamp ~lo:0 ~hi:(bins - 1) b in
+      counts.(b) <- counts.(b) +. 1.)
+    img;
+  counts
+
+let trim img ~left ~right ~top ~bottom =
+  let w = Image.width img - left - right in
+  let h = Image.height img - top - bottom in
+  if w <= 0 || h <= 0 then invalid_arg "Ops.trim: nothing left";
+  Image.sub img ~x:left ~y:top (Size.v w h)
+
+let pad_with img ~left ~right ~top ~bottom pixel_of =
+  let w = Image.width img and h = Image.height img in
+  let out = Image.create (Size.v (w + left + right) (h + top + bottom)) in
+  Image.iter_pixels
+    (fun ~x ~y _ ->
+      let sx = x - left and sy = y - top in
+      Image.set out ~x ~y (pixel_of sx sy))
+    out;
+  out
+
+let pad_zero img ~left ~right ~top ~bottom =
+  let w = Image.width img and h = Image.height img in
+  pad_with img ~left ~right ~top ~bottom (fun sx sy ->
+      if sx >= 0 && sy >= 0 && sx < w && sy < h then Image.get img ~x:sx ~y:sy
+      else 0.)
+
+let pad_mirror img ~left ~right ~top ~bottom =
+  let w = Image.width img and h = Image.height img in
+  let reflect n lim =
+    (* reflect across the edge without repeating the border pixel twice when
+       possible; degenerate 1-wide images clamp. *)
+    if lim = 1 then 0
+    else
+      let period = 2 * (lim - 1) in
+      let m = ((n mod period) + period) mod period in
+      if m < lim then m else period - m
+  in
+  pad_with img ~left ~right ~top ~bottom (fun sx sy ->
+      Image.get img ~x:(reflect sx w) ~y:(reflect sy h))
+
+let downsample img ~fx ~fy =
+  if fx <= 0 || fy <= 0 then invalid_arg "Ops.downsample: factors positive";
+  let w = (Image.width img + fx - 1) / fx in
+  let h = (Image.height img + fy - 1) / fy in
+  Image.init (Size.v w h) (fun ~x ~y -> Image.get img ~x:(x * fx) ~y:(y * fy))
+
+let bayer_demosaic raw =
+  let w = Image.width raw and h = Image.height raw in
+  if w < 3 || h < 3 then invalid_arg "Ops.bayer_demosaic: image too small";
+  let out_size = Size.v (w - 2) (h - 2) in
+  let red = Image.create out_size
+  and green = Image.create out_size
+  and blue = Image.create out_size in
+  let g = Image.get raw in
+  for oy = 0 to h - 3 do
+    for ox = 0 to w - 3 do
+      let x = ox + 1 and y = oy + 1 in
+      let r, gr, b =
+        match (x mod 2, y mod 2) with
+        | 0, 0 ->
+          (* red site *)
+          ( g ~x ~y,
+            (g ~x:(x - 1) ~y +. g ~x:(x + 1) ~y +. g ~x ~y:(y - 1)
+            +. g ~x ~y:(y + 1))
+            /. 4.,
+            (g ~x:(x - 1) ~y:(y - 1)
+            +. g ~x:(x + 1) ~y:(y - 1)
+            +. g ~x:(x - 1) ~y:(y + 1)
+            +. g ~x:(x + 1) ~y:(y + 1))
+            /. 4. )
+        | 1, 1 ->
+          (* blue site *)
+          ( (g ~x:(x - 1) ~y:(y - 1)
+            +. g ~x:(x + 1) ~y:(y - 1)
+            +. g ~x:(x - 1) ~y:(y + 1)
+            +. g ~x:(x + 1) ~y:(y + 1))
+            /. 4.,
+            (g ~x:(x - 1) ~y +. g ~x:(x + 1) ~y +. g ~x ~y:(y - 1)
+            +. g ~x ~y:(y + 1))
+            /. 4.,
+            g ~x ~y )
+        | 1, 0 ->
+          (* green site on a red row *)
+          ( (g ~x:(x - 1) ~y +. g ~x:(x + 1) ~y) /. 2.,
+            g ~x ~y,
+            (g ~x ~y:(y - 1) +. g ~x ~y:(y + 1)) /. 2. )
+        | _ ->
+          (* green site on a blue row *)
+          ( (g ~x ~y:(y - 1) +. g ~x ~y:(y + 1)) /. 2.,
+            g ~x ~y,
+            (g ~x:(x - 1) ~y +. g ~x:(x + 1) ~y) /. 2. )
+      in
+      Image.set red ~x:ox ~y:oy r;
+      Image.set green ~x:ox ~y:oy gr;
+      Image.set blue ~x:ox ~y:oy b
+    done
+  done;
+  (red, green, blue)
+
+let box_blur img ~w ~h =
+  let k = float_of_int (w * h) in
+  let coeffs = Image.Gen.constant (Size.v w h) (1. /. k) in
+  convolve img ~kernel:coeffs

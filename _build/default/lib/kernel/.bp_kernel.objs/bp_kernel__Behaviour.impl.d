@@ -1,0 +1,1 @@
+lib/kernel/behaviour.ml: Bp_image Bp_token Bp_util Err Item List Method_spec

@@ -1,0 +1,1 @@
+lib/kernel/behaviour.mli: Bp_image Bp_token Item Method_spec

@@ -1,0 +1,1 @@
+lib/kernel/item.ml: Bp_image Bp_token

@@ -1,0 +1,1 @@
+lib/kernel/item.mli: Bp_image Bp_token Format

@@ -1,0 +1,1 @@
+lib/kernel/method_spec.ml: Bp_token Bp_util Err Format List String

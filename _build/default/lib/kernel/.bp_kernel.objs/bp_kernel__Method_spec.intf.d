@@ -1,0 +1,1 @@
+lib/kernel/method_spec.mli: Bp_token Format

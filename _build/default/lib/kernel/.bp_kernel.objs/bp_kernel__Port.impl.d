@@ -1,0 +1,1 @@
+lib/kernel/port.ml: Bp_geometry Bp_util Err Format List Size String Window

@@ -1,0 +1,1 @@
+lib/kernel/port.mli: Bp_geometry Format

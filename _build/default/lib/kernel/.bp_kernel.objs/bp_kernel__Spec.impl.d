@@ -1,0 +1,1 @@
+lib/kernel/spec.ml: Behaviour Bp_token Bp_util Err Format List Method_spec Port String

@@ -1,0 +1,1 @@
+lib/kernel/spec.mli: Behaviour Bp_token Format Method_spec Port

@@ -1,0 +1,161 @@
+open Bp_util
+
+type io = {
+  peek : string -> Item.t option;
+  pop : string -> Item.t;
+  push : string -> Item.t -> unit;
+  space : string -> int;
+}
+
+type fired = { method_name : string; cycles : int }
+type t = { try_step : io -> fired option }
+
+let forward_method_name = "<forward-token>"
+
+type data_run =
+  (string * Bp_image.Image.t) list -> (string * Bp_image.Image.t) list
+
+type token_run = Bp_token.Token.t -> (string * Bp_image.Image.t) list
+
+let pop_data io input =
+  match io.pop input with
+  | Item.Data img -> img
+  | Item.Ctl tok ->
+    Err.graphf "expected data on %S, found token %s" input
+      (Bp_token.Token.to_string tok)
+
+let front_is_data io input =
+  match io.peek input with Some (Item.Data _) -> true | _ -> false
+
+let front_token io input =
+  match io.peek input with Some (Item.Ctl tok) -> Some tok | _ -> None
+
+(* Push the chunks a method body returned, in the method's declared output
+   order, validating that the body only wrote declared outputs. *)
+let push_results io (m : Method_spec.t) results =
+  List.iter
+    (fun (out, _) ->
+      if not (List.mem out m.Method_spec.outputs) then
+        Err.graphf "method %s wrote undeclared output %S" m.Method_spec.name
+          out)
+    results;
+  List.iter
+    (fun out ->
+      match List.assoc_opt out results with
+      | Some chunk -> io.push out (Item.data chunk)
+      | None -> ())
+    m.Method_spec.outputs
+
+(* The fronts of a method's trigger inputs, or None when a queue is empty. *)
+let fronts io inputs =
+  let rec collect acc = function
+    | [] -> Some (List.rev acc)
+    | input :: rest -> (
+      match io.peek input with
+      | None -> None
+      | Some item -> collect ((input, item) :: acc) rest)
+  in
+  collect [] inputs
+
+let all_data items = List.for_all (fun (_, item) -> Item.is_data item) items
+
+let matching_token items =
+  match items with
+  | [] -> None
+  | (_, first) :: rest -> (
+    match first with
+    | Item.Data _ -> None
+    | Item.Ctl tok ->
+      let same (_, item) =
+        match item with
+        | Item.Ctl t -> Bp_token.Token.kind_equal t.kind tok.kind
+        | Item.Data _ -> false
+      in
+      if List.for_all same rest then Some tok else None)
+
+let iteration_kernel ?(token_forward_cycles = 2) ~methods ~run
+    ?(token_run = fun _ _ -> []) () =
+  let data_methods =
+    List.filter
+      (fun m ->
+        match m.Method_spec.trigger with
+        | Method_spec.On_data _ -> true
+        | Method_spec.On_token _ -> false)
+      methods
+  in
+  let token_handler inputs kind =
+    List.find_opt
+      (fun m ->
+        match m.Method_spec.trigger with
+        | Method_spec.On_token (input, k) ->
+          List.mem input inputs && Bp_token.Token.kind_equal k kind
+        | Method_spec.On_data _ -> false)
+      methods
+  in
+  let space_ok io outputs need =
+    List.for_all (fun out -> io.space out >= need) outputs
+  in
+  let try_data_method io (m : Method_spec.t) items =
+    if not (space_ok io m.outputs 1) then None
+    else begin
+      let chunks =
+        List.map (fun (input, _) -> (input, Item.chunk_exn (io.pop input))) items
+      in
+      push_results io m (run m.Method_spec.name chunks);
+      Some { method_name = m.Method_spec.name; cycles = m.Method_spec.cycles }
+    end
+  in
+  let try_token io (m : Method_spec.t) items (tok : Bp_token.Token.t) =
+    let inputs = List.map fst items in
+    match token_handler inputs tok.kind with
+    | Some h ->
+      (* A handler may emit one chunk per output plus the forwarded token. *)
+      if not (space_ok io h.Method_spec.outputs 2) then None
+      else begin
+        List.iter (fun (input, _) -> ignore (io.pop input)) items;
+        push_results io h (token_run h.Method_spec.name tok);
+        if h.Method_spec.forward_token then
+          List.iter
+            (fun out -> io.push out (Item.ctl tok))
+            h.Method_spec.outputs;
+        Some
+          {
+            method_name = h.Method_spec.name;
+            cycles = h.Method_spec.cycles;
+          }
+      end
+    | None ->
+      if not (space_ok io m.Method_spec.outputs 1) then None
+      else begin
+        List.iter (fun (input, _) -> ignore (io.pop input)) items;
+        List.iter
+          (fun out -> io.push out (Item.ctl tok))
+          m.Method_spec.outputs;
+        Some { method_name = forward_method_name; cycles = token_forward_cycles }
+      end
+  in
+  let try_step io =
+    let rec attempt = function
+      | [] -> None
+      | m :: rest -> (
+        let inputs = Method_spec.trigger_inputs m in
+        match fronts io inputs with
+        | None -> attempt rest
+        | Some items -> (
+          if all_data items then
+            match try_data_method io m items with
+            | Some f -> Some f
+            | None -> attempt rest
+          else
+            match matching_token items with
+            | Some tok -> (
+              match try_token io m items tok with
+              | Some f -> Some f
+              | None -> attempt rest)
+            | None ->
+              (* Mixed fronts: wait for the streams to re-align. *)
+              attempt rest))
+    in
+    attempt data_methods
+  in
+  { try_step }

@@ -1,0 +1,78 @@
+(** Kernel runtime behaviours.
+
+    A behaviour is the executable half of a kernel: a [try_step] function
+    the simulator calls when the kernel's processor is free. One step either
+    fires one method (consuming input items, producing output items, and
+    reporting the cycles spent) or reports that the kernel cannot progress.
+
+    The module also provides {!iteration_kernel}, the generic wrapper for
+    ordinary per-iteration kernels (convolution, subtract, histogram, ...).
+    It implements the paper's control-token semantics:
+
+    - a data method fires when every trigger input has a data chunk at the
+      front of its queue;
+    - when every trigger input of a method instead has the *same kind* of
+      control token at the front, the token is consumed once from each and
+      either dispatched to a registered [On_token] method (the histogram's
+      [finishCount]) or automatically forwarded to the method's outputs
+      (Section II-C: kernels only pay attention to the tokens they care
+      about);
+    - mixed fronts (data on one input, token on another) block until the
+      streams re-align, which the compiler's alignment pass guarantees will
+      happen. *)
+
+type io = {
+  peek : string -> Item.t option;
+      (** Front of an input queue, without consuming. *)
+  pop : string -> Item.t;
+      (** Consume the front of an input queue. Raises if empty. *)
+  push : string -> Item.t -> unit;
+      (** Append to an output (all fan-out channels). Caller must have
+          checked {!field-space}. *)
+  space : string -> int;
+      (** Free item slots on an output — the minimum across its fan-out
+          channels. *)
+}
+
+type fired = { method_name : string; cycles : int }
+(** Accounting result of a successful step. Words moved are counted by the
+    simulator inside [pop]/[push]. *)
+
+type t = { try_step : io -> fired option }
+
+val forward_method_name : string
+(** The pseudo-method name reported when a step merely forwarded an
+    unhandled control token. *)
+
+type data_run =
+  (string * Bp_image.Image.t) list -> (string * Bp_image.Image.t) list
+(** A data method body: consumed chunks keyed by input name, in trigger
+    order, to produced chunks keyed by output name (at most one per output;
+    outputs may be omitted). *)
+
+type token_run =
+  Bp_token.Token.t -> (string * Bp_image.Image.t) list
+(** A token method body (e.g. emit the finished histogram on EOF). *)
+
+val iteration_kernel :
+  ?token_forward_cycles:int ->
+  methods:Method_spec.t list ->
+  run:(string -> data_run) ->
+  ?token_run:(string -> token_run) ->
+  unit ->
+  t
+(** [iteration_kernel ~methods ~run ()] builds the standard wrapper.
+    [run m] is invoked for [On_data] method [m]; [token_run m] for
+    [On_token] method [m] (defaults to producing nothing).
+    [token_forward_cycles] (default 2) is the cost of auto-forwarding an
+    unhandled token. State is whatever the [run] closures capture — callers
+    allocate fresh state per behaviour instance. *)
+
+val pop_data : io -> string -> Bp_image.Image.t
+(** Helper for custom behaviours: pop and assert a data chunk. *)
+
+val front_is_data : io -> string -> bool
+(** True when the input has a data chunk at its front. *)
+
+val front_token : io -> string -> Bp_token.Token.t option
+(** The token at the front of the input, if any. *)

@@ -1,0 +1,1 @@
+lib/kernels/arith.ml: Behaviour Bp_geometry Bp_image Bp_kernel Costs Float Fun List Method_spec Port Printf Spec Window

@@ -1,0 +1,1 @@
+lib/kernels/arith.mli: Bp_kernel

@@ -1,0 +1,1 @@
+lib/kernels/bayer.ml: Behaviour Bp_geometry Bp_image Bp_kernel Bp_util Costs List Method_spec Port Size Spec Window

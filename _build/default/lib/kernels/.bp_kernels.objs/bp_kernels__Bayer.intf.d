@@ -1,0 +1,1 @@
+lib/kernels/bayer.mli: Bp_geometry Bp_kernel

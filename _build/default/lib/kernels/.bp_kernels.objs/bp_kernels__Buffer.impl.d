@@ -1,0 +1,1 @@
+lib/kernels/buffer.ml: Array Behaviour Bp_geometry Bp_image Bp_kernel Bp_token Bp_util Costs Format Item Option Port Size Spec Step Window

@@ -1,0 +1,1 @@
+lib/kernels/buffer.mli: Bp_geometry Bp_kernel

@@ -1,0 +1,1 @@
+lib/kernels/conv.ml: Behaviour Bp_geometry Bp_image Bp_kernel Bp_util Costs List Method_spec Offset Option Port Printf Size Spec Step Window

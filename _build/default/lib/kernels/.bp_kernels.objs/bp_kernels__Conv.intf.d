@@ -1,0 +1,1 @@
+lib/kernels/conv.mli: Bp_geometry Bp_kernel

@@ -1,0 +1,1 @@
+lib/kernels/decimate.ml: Behaviour Bp_geometry Bp_kernel Bp_util List Method_spec Port Printf Size Spec Step Window

@@ -1,0 +1,1 @@
+lib/kernels/decimate.mli: Bp_kernel

@@ -1,0 +1,1 @@
+lib/kernels/feedback.ml: Behaviour Bp_geometry Bp_image Bp_kernel Bp_util Item List Method_spec Port Size Spec Window

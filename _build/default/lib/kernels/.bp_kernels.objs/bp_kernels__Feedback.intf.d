@@ -1,0 +1,1 @@
+lib/kernels/feedback.mli: Bp_geometry Bp_image Bp_kernel

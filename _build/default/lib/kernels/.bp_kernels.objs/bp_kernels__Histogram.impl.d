@@ -1,0 +1,1 @@
+lib/kernels/histogram.ml: Array Behaviour Bp_geometry Bp_image Bp_kernel Bp_token Bp_util Costs List Method_spec Option Port Size Spec Step Window

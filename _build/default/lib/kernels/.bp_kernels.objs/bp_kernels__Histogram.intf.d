@@ -1,0 +1,1 @@
+lib/kernels/histogram.mli: Bp_image Bp_kernel

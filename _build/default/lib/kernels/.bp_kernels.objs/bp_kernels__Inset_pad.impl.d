@@ -1,0 +1,1 @@
+lib/kernels/inset_pad.ml: Behaviour Bp_geometry Bp_image Bp_kernel Bp_token Bp_util Costs Item Option Port Printf Size Spec Window

@@ -1,0 +1,1 @@
+lib/kernels/inset_pad.mli: Bp_geometry Bp_kernel

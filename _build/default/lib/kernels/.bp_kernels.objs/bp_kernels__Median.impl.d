@@ -1,0 +1,1 @@
+lib/kernels/median.ml: Behaviour Bp_geometry Bp_image Bp_kernel Costs List Method_spec Option Port Printf Spec Window

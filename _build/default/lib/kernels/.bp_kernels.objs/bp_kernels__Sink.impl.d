@@ -1,0 +1,1 @@
+lib/kernels/sink.ml: Behaviour Bp_image Bp_kernel Bp_token Item List Port Spec

@@ -1,0 +1,1 @@
+lib/kernels/sink.mli: Bp_geometry Bp_image Bp_kernel Bp_token

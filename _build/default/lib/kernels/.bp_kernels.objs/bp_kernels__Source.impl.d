@@ -1,0 +1,1 @@
+lib/kernels/source.ml: Behaviour Bp_geometry Bp_image Bp_kernel Bp_token Bp_util Item List Port Size Spec Step Window

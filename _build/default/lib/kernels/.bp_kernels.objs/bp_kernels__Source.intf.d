@@ -1,0 +1,1 @@
+lib/kernels/source.mli: Bp_geometry Bp_image Bp_kernel

@@ -1,0 +1,1 @@
+lib/kernels/split_join.ml: Array Behaviour Bp_geometry Bp_kernel Bp_token Bp_util Costs Item List Option Port Printf Size Spec Step Window

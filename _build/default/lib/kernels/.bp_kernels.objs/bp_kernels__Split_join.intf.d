@@ -1,0 +1,1 @@
+lib/kernels/split_join.mli: Bp_geometry Bp_kernel

@@ -1,0 +1,1 @@
+lib/kernels/upsample.ml: Behaviour Bp_geometry Bp_image Bp_kernel Bp_util List Method_spec Port Printf Size Spec Window

@@ -1,0 +1,1 @@
+lib/kernels/upsample.mli: Bp_image Bp_kernel

@@ -1,0 +1,24 @@
+(** Elementwise arithmetic kernels. *)
+
+val subtract : unit -> Bp_kernel.Spec.t
+(** Two inputs [in0], [in1] (1×1 each), one output [out] with the per-pixel
+    difference [in0 - in1]. The method triggers on data on both inputs, so
+    control tokens must arrive matched on both (Section II-C). *)
+
+val gain : float -> Bp_kernel.Spec.t
+(** [gain k] scales its input stream by [k]: input [in], output [out]. *)
+
+val add_const : float -> Bp_kernel.Spec.t
+(** [add_const c] offsets its input stream by [c]. *)
+
+val forward : ?class_name:string -> unit -> Bp_kernel.Spec.t
+(** The identity kernel on a 1×1 stream — useful for pipelines and tests. *)
+
+val absdiff : unit -> Bp_kernel.Spec.t
+(** Like {!subtract} but produces the absolute difference. *)
+
+val add2 : unit -> Bp_kernel.Spec.t
+(** Two-input elementwise sum ([in0 + in1]). *)
+
+val abs_val : unit -> Bp_kernel.Spec.t
+(** Elementwise absolute value. *)

@@ -1,0 +1,13 @@
+(** Bayer demosaicing (benchmark 1 of Figure 13).
+
+    A 3×3 sliding-window kernel over an RGGB mosaic producing three pixel
+    outputs per iteration: the bilinearly interpolated red, green and blue
+    values at the window center. The kernel must know its absolute position
+    within the frame to select the per-site formula, so it is configured
+    with the frame width and tracks its iteration index — an example of a
+    multi-output kernel with position-dependent state. *)
+
+val spec : ?cycles:int -> frame:Bp_geometry.Size.t -> unit -> Bp_kernel.Spec.t
+(** [spec ~frame ()] builds the kernel for mosaics of extent [frame]
+    (the iteration grid is [(frame.w-2)]×[(frame.h-2)]). Ports: input
+    ["in"] (3×3 window), outputs ["r"], ["g"], ["b"]. *)

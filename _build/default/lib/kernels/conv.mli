@@ -1,0 +1,20 @@
+(** The windowed convolution kernel (Figures 5 and 6 of the paper).
+
+    Ports:
+    - ["in"]: a [w]×[h] sliding window (unit step, centered offset);
+    - ["coeff"]: a [w]×[h] block (step = size) of coefficients, marked
+      replicated so parallel instances all receive the same filter;
+    - ["out"]: one pixel per iteration.
+
+    Methods:
+    - [runConvolve] fires on data on ["in"] and multiply-accumulates the
+      window against the (flipped) coefficients;
+    - [loadCoeff] fires on data on ["coeff"] and replaces the private
+      coefficient state, so filters can be swapped at run time. *)
+
+val spec : ?cycles:int -> w:int -> h:int -> unit -> Bp_kernel.Spec.t
+(** [spec ~w ~h ()] builds the kernel; [cycles] overrides the default
+    {!Costs.convolve} cost for [runConvolve]. *)
+
+val input_window : w:int -> h:int -> Bp_geometry.Window.t
+(** The parameterization of the ["in"] port, exposed for tests. *)

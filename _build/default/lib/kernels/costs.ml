@@ -1,0 +1,19 @@
+let convolve ~w ~h = 10 + (3 * h * w)
+let load_coeff ~w ~h = 10 + (2 * h * w)
+
+let median ~w ~h =
+  let n = w * h in
+  let log2 = int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+  15 * n * max 1 log2 / 4
+
+let subtract = 4
+let histogram_count ~bins = (bins / 2) + 5
+let histogram_finish ~bins = (3 * bins) + 3
+let merge_accumulate ~bins = 2 * bins
+let merge_emit ~bins = (2 * bins) + 3
+let buffer_store = 4
+let split = 3
+let inset = 2
+let pad = 2
+let bayer = 24
+let gain = 3

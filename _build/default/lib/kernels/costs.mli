@@ -1,0 +1,44 @@
+(** Default cycle-cost models of the standard kernels.
+
+    The paper specifies per-method resource requirements explicitly in each
+    kernel's [configureKernel] (e.g. [10 + 3*h*w] for a convolution). These
+    functions centralize those formulas so kernels, analyses and tests agree
+    on them; every kernel constructor also accepts an override. *)
+
+val convolve : w:int -> h:int -> int
+(** [10 + 3*h*w], as in the paper's Figure 6. *)
+
+val load_coeff : w:int -> h:int -> int
+(** [10 + 2*h*w], as in the paper's Figure 6. *)
+
+val median : w:int -> h:int -> int
+(** A sorting-network estimate: roughly [15 * n * log2 n] for [n = w*h]. *)
+
+val subtract : int
+(** Per-pixel difference. *)
+
+val histogram_count : bins:int -> int
+(** [bins/2 + 5] — the paper's average linear bin search. *)
+
+val histogram_finish : bins:int -> int
+(** [3*bins + 3], as in the paper's Figure 7. *)
+
+val merge_accumulate : bins:int -> int
+val merge_emit : bins:int -> int
+
+val buffer_store : int
+(** Per-input-chunk bookkeeping in a buffer kernel. *)
+
+val split : int
+(** Per-item routing decision in a split/join FSM. *)
+
+val inset : int
+(** Per-chunk keep/drop decision. *)
+
+val pad : int
+(** Per-emitted-chunk cost of a padding kernel. *)
+
+val bayer : int
+(** Per-site demosaic interpolation. *)
+
+val gain : int

@@ -1,0 +1,20 @@
+open Bp_kernel
+open Bp_geometry
+
+let spec ?(cycles = 2) ~fx ~fy () =
+  if fx <= 0 || fy <= 0 then
+    Bp_util.Err.invalidf "decimate: factors %dx%d must be positive" fx fy;
+  let methods =
+    [
+      Method_spec.on_data ~cycles ~name:"pick" ~inputs:[ "in" ]
+        ~outputs:[ "out" ] ();
+    ]
+  in
+  let run _m inputs = [ ("out", List.assoc "in" inputs) ] in
+  Spec.v
+    ~class_name:(Printf.sprintf "Decimate %dx%d" fx fy)
+    ~inputs:[ Port.input "in" (Window.v ~step:(Step.v fx fy) Size.one) ]
+    ~outputs:[ Port.output "out" Window.pixel ]
+    ~methods
+    ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
+    ()

@@ -1,0 +1,11 @@
+(** Decimation: keep one pixel in [fx × fy].
+
+    Declared as a 1×1 window with step [fx,fy] — the model's
+    step-larger-than-window downsampling case. The compiler's buffering
+    pass realizes the stride with a downsampling buffer; the kernel itself
+    just forwards the selected pixels. *)
+
+val spec : ?cycles:int -> fx:int -> fy:int -> unit -> Bp_kernel.Spec.t
+(** Ports: ["in"] (1×1, step [fx,fy]), ["out"] (1×1). Fails with
+    {!Bp_util.Err.Invalid_parameterization} unless both factors are
+    positive. *)

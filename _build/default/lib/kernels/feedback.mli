@@ -1,0 +1,32 @@
+(** Feedback-loop kernels (the Section III-D extension).
+
+    The paper sketches feedback support as two modifications: break loops
+    with special initialization kernels that provide the loop's initial
+    values, and traverse the graph with a work-list analysis. The analysis
+    half lives in [Bp_analysis.Dataflow]; this module provides the kernels.
+
+    [init] emits its initial chunks once at start-up and from then on
+    forwards every data chunk; incoming tokens are consumed (not
+    recirculated — frame structure enters a loop from the forward path).
+    Graph nodes using it must carry [Graph.Feedback_init_meta] declaring
+    the loop stream's extent and rate so the dataflow can seed the cycle.
+
+    [loop_combine] is a two-input elementwise kernel for closing loops:
+    ["in0"] is the forward input (tokens forwarded from it alone), ["in1"]
+    the feedback input, which carries no tokens. This sidesteps the
+    matched-token rule that would deadlock on a cycle. *)
+
+val init :
+  ?class_name:string ->
+  window:Bp_geometry.Window.t ->
+  initial:Bp_image.Image.t list ->
+  unit ->
+  Bp_kernel.Spec.t
+(** All [initial] chunks must have the window's extent. *)
+
+val loop_combine :
+  ?class_name:string ->
+  ?cycles:int ->
+  (float -> float -> float) ->
+  Bp_kernel.Spec.t
+(** [loop_combine f]: output pixel = [f forward feedback]. *)

@@ -1,0 +1,33 @@
+(** The histogram kernel and its serial merge partner (Figures 1 and 7).
+
+    The histogram is the paper's showcase for multiple methods and control
+    tokens: [count] fires per data pixel, [finishCount] fires on the
+    end-of-frame token, emits the accumulated bin counts on ["out"], resets,
+    and forwards the token; [configureBins] fires when bin lower bounds
+    arrive on the replicated ["bins"] input.
+
+    Because partial histograms from parallel instances must be reduced
+    serially once per frame, the [merge] kernel accumulates partials and
+    emits the final histogram on the end-of-frame token. Its parallelism is
+    limited with a data-dependency edge from the application input (Figure
+    1(b)); it is also marked non-data-parallel so the compiler can never
+    replicate it even without the edge. *)
+
+val bin_lower_bounds : bins:int -> lo:float -> hi:float -> Bp_image.Image.t
+(** The 1×[bins] image of uniform bin lower bounds, suitable as the chunk of
+    the "Hist Bins" constant source. *)
+
+val spec : ?count_cycles:int -> bins:int -> unit -> Bp_kernel.Spec.t
+(** The histogram kernel. Bin ranges arrive via the ["bins"] input; until
+    configured, all pixels land in bin 0 (tests always configure first).
+    Output chunks are 1×[bins] rows of counts. *)
+
+val merge : bins:int -> unit -> Bp_kernel.Spec.t
+(** The serial reduction kernel: input ["in"] receives partial histograms,
+    output ["out"] emits the per-frame total on end-of-frame. *)
+
+val reference :
+  Bp_image.Image.t -> bins:int -> lo:float -> hi:float -> Bp_image.Image.t
+(** The golden whole-frame histogram using exactly the kernel's linear
+    [findBin] over {!bin_lower_bounds}, as a 1×[bins] image — bit-identical
+    to what a simulated histogram+merge pipeline produces. *)

@@ -1,0 +1,35 @@
+(** Alignment repair kernels (Section III-C, Figure 8).
+
+    [inset] trims an iteration grid: it consumes a stream of chunks laid out
+    as a [grid.w]×[grid.h] scan-line grid and forwards only the chunks
+    outside the trimmed margins, re-emitting its own end-of-frame. This is
+    the "inverted house" kernel of Figure 3.
+
+    [pad] grows a pixel stream: it re-emits its input frame surrounded by
+    margins of a constant value (zero padding — the paper's alternative to
+    trimming; mirror padding exists as a reference image operation). It
+    consumes incoming EOL/EOF and emits its own tokens for the padded
+    geometry. *)
+
+val inset :
+  ?class_name:string ->
+  ?chunk:Bp_geometry.Window.t ->
+  grid:Bp_geometry.Size.t ->
+  left:int -> right:int -> top:int -> bottom:int ->
+  unit ->
+  Bp_kernel.Spec.t
+(** [inset ~grid ~left ~right ~top ~bottom ()] drops the given margins of
+    the chunk grid. [chunk] is the shape of each stream chunk (default 1×1
+    pixels). Fails with {!Bp_util.Err.Invalid_parameterization} when the
+    margins consume the whole grid or are negative. *)
+
+val pad :
+  ?class_name:string ->
+  ?value:float ->
+  frame:Bp_geometry.Size.t ->
+  left:int -> right:int -> top:int -> bottom:int ->
+  unit ->
+  Bp_kernel.Spec.t
+(** [pad ~frame ~left ~right ~top ~bottom ()] surrounds each incoming
+    [frame]-sized pixel stream with margins of [value] (default 0),
+    producing a [(frame.w+left+right)]×[(frame.h+top+bottom)] stream. *)

@@ -1,0 +1,21 @@
+open Bp_kernel
+open Bp_geometry
+
+let spec ?cycles ~w ~h () =
+  let cycles = Option.value cycles ~default:(Costs.median ~w ~h) in
+  let methods =
+    [
+      Method_spec.on_data ~cycles ~name:"runMedian" ~inputs:[ "in" ]
+        ~outputs:[ "out" ] ();
+    ]
+  in
+  let run _m inputs =
+    [ ("out", Bp_image.Ops.median (List.assoc "in" inputs) ~w ~h) ]
+  in
+  Spec.v
+    ~class_name:(Printf.sprintf "%dx%d Median" w h)
+    ~inputs:[ Port.input "in" (Window.windowed w h) ]
+    ~outputs:[ Port.output "out" Window.pixel ]
+    ~methods
+    ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
+    ()

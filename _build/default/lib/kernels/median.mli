@@ -1,0 +1,4 @@
+(** The windowed median filter. One [w]×[h] sliding-window input ["in"]
+    (unit step, centered offset), one pixel output ["out"]. *)
+
+val spec : ?cycles:int -> w:int -> h:int -> unit -> Bp_kernel.Spec.t

@@ -1,0 +1,73 @@
+open Bp_kernel
+open Bp_geometry
+module Image = Bp_image.Image
+module Token = Bp_token.Token
+
+let emissions_per_frame ~frame = Size.area frame
+
+let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
+  List.iter
+    (fun img ->
+      if not (Size.equal (Image.size img) frame) then
+        Bp_util.Err.invalidf "source frame extent mismatch: got %s, want %s"
+          (Size.to_string (Image.size img))
+          (Size.to_string frame))
+    frames;
+  let make_behaviour () =
+    let remaining = ref frames in
+    let x = ref 0 and y = ref 0 and frame_idx = ref 0 in
+    let try_step (io : Behaviour.io) =
+      match !remaining with
+      | [] -> None
+      | img :: rest ->
+        (* One emission may carry pixel + EOL + EOF. *)
+        if io.space "out" < 3 then None
+        else begin
+          let pixel =
+            Image.init Size.one (fun ~x:_ ~y:_ -> Image.get img ~x:!x ~y:!y)
+          in
+          io.push "out" (Item.data pixel);
+          let end_of_row = !x = frame.Size.w - 1 in
+          let end_of_frame = end_of_row && !y = frame.Size.h - 1 in
+          if end_of_row && emit_eol then
+            io.push "out" (Item.ctl (Token.eol !y));
+          if end_of_frame then begin
+            io.push "out" (Item.ctl (Token.eof !frame_idx));
+            x := 0;
+            y := 0;
+            incr frame_idx;
+            remaining := rest
+          end
+          else if end_of_row then begin
+            x := 0;
+            incr y
+          end
+          else incr x;
+          Some { Behaviour.method_name = "emit"; cycles = 0 }
+        end
+    in
+    { Behaviour.try_step }
+  in
+  Spec.v ~role:Spec.Source ~class_name ~inputs:[]
+    ~outputs:[ Port.output "out" Window.pixel ]
+    ~methods:[] ~make_behaviour ()
+
+let const ?(class_name = "Const") ~chunk () =
+  let size = Image.size chunk in
+  let window = Window.v ~step:(Step.of_size size) size in
+  let make_behaviour () =
+    let sent = ref false in
+    let try_step (io : Behaviour.io) =
+      if !sent then None
+      else if io.space "out" < 1 then None
+      else begin
+        io.push "out" (Item.data (Image.copy chunk));
+        sent := true;
+        Some { Behaviour.method_name = "emit"; cycles = 0 }
+      end
+    in
+    { Behaviour.try_step }
+  in
+  Spec.v ~role:Spec.Const_source ~class_name ~inputs:[]
+    ~outputs:[ Port.output "out" window ]
+    ~methods:[] ~make_behaviour ()

@@ -1,0 +1,71 @@
+(** Compiler-inserted distribution and collection FSM kernels (Section IV).
+
+    [split] distributes the chunks of a stream round-robin over [ways]
+    parallel instances and replicates every control token to all of them.
+    [join] re-serializes: it takes [pattern.(b)] chunks from branch [b]
+    before moving to the next branch (round-robin is the all-ones pattern;
+    column-split buffers use the windows-per-row-per-stripe pattern), and
+    merges the token copies — a token is consumed once it is at the front of
+    every branch, and forwarded once. Both reset their FSM state on
+    end-of-frame, so per-frame chunk counts need not divide [ways] evenly.
+
+    [column_split] is the specialized distributor for parallelized buffers
+    (Figure 10): it routes each pixel of a scan-line stream by column to the
+    stripe(s) whose range contains it, duplicating pixels in overlap
+    regions, and replicates tokens to all stripes.
+
+    [replicate] copies a configuration stream to every consumer of its
+    single output (replicated inputs are fanned out, not distributed). *)
+
+val split :
+  ?class_name:string ->
+  ?pattern:int array ->
+  window:Bp_geometry.Window.t ->
+  ways:int ->
+  unit ->
+  Bp_kernel.Spec.t
+(** Input ["in"], outputs ["out0"] .. ["out<ways-1>"]. [pattern] (default
+    all-ones = round-robin) sends runs of [pattern.(b)] consecutive chunks
+    to branch [b] — the distribution that preserves intra-branch window
+    reuse in the Figure 9 ablation. The FSM resets on end-of-frame. *)
+
+val join :
+  ?class_name:string ->
+  ?pattern:int array ->
+  window:Bp_geometry.Window.t ->
+  ways:int ->
+  unit ->
+  Bp_kernel.Spec.t
+(** Inputs ["in0"] .. ["in<ways-1>"], output ["out"]. [pattern] defaults to
+    all-ones (round-robin); it must have length [ways] and positive
+    entries. *)
+
+val column_split :
+  ?class_name:string ->
+  ranges:(int * int) array ->
+  frame:Bp_geometry.Size.t ->
+  unit ->
+  Bp_kernel.Spec.t
+(** [ranges.(k) = (c0, c1)] sends columns [c0 <= c < c1] to ["out<k>"].
+    Ranges must cover [0, frame.w) in order and may overlap (the shared
+    columns of Figure 10). Fails with
+    {!Bp_util.Err.Invalid_parameterization} otherwise. *)
+
+val replicate :
+  ?class_name:string -> window:Bp_geometry.Window.t -> unit ->
+  Bp_kernel.Spec.t
+(** Input ["in"], output ["out"]; the output is intended to fan out. *)
+
+val stripe_ranges :
+  frame_w:int -> window:Bp_geometry.Window.t -> parts:int -> (int * int) array
+(** Divide a frame into [parts] column stripes for buffer splitting: output
+    window origins are divided evenly; each stripe's input range is widened
+    by the window halo so neighbouring stripes share [size.w - step.sx]
+    overlap columns. Fails when the frame is too narrow to split that
+    far. *)
+
+val stripe_windows_per_row :
+  frame_w:int -> window:Bp_geometry.Window.t -> ranges:(int * int) array ->
+  int array
+(** The join [pattern] matching {!stripe_ranges}: how many output windows
+    per frame row each stripe produces. *)

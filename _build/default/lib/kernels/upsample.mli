@@ -1,0 +1,19 @@
+(** Upsampling: each input pixel becomes an [fx × fy] output block.
+
+    The inverse of {!Decimate}: the output port is an [fx×fy] block per
+    iteration, so the logical extent *grows* — exercising the
+    tiling-output branch of the dataflow's extent rule. Two modes:
+    replicate the pixel across the block (sample-and-hold) or place it at
+    the block origin with zero fill (zero-stuffing, the classic DSP
+    expander). *)
+
+type mode = Hold | Zero_stuff
+
+val spec :
+  ?cycles:int -> ?mode:mode -> fx:int -> fy:int -> unit -> Bp_kernel.Spec.t
+(** Ports: ["in"] (1×1), ["out"] ([fx]×[fy] block). Default mode
+    [Hold]. *)
+
+val reference :
+  mode:mode -> fx:int -> fy:int -> Bp_image.Image.t -> Bp_image.Image.t
+(** Whole-frame golden upsampling. *)

@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Bp_geometry Bp_graph Bp_image Bp_kernels Bp_util Float Format Fun List Option Rate Size String Window

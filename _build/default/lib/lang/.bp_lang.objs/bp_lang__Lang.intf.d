@@ -1,0 +1,1 @@
+lib/lang/lang.mli: Bp_geometry Bp_graph Bp_kernels

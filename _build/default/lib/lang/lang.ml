@@ -1,0 +1,292 @@
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Image = Bp_image.Image
+module K = Bp_kernels
+module Err = Bp_util.Err
+
+type program = {
+  graph : Graph.t;
+  inputs : (string * Graph.node_id) list;
+  outputs : (string * K.Sink.collector) list;
+  n_frames : int;
+  rate : Rate.t option;
+}
+
+let kernel_kinds =
+  [
+    "conv"; "median"; "subtract"; "absdiff"; "forward"; "gain"; "add";
+    "histogram"; "merge"; "bayer"; "decimate"; "upsample"; "add2"; "fir";
+    "delay"; "changedetect";
+  ]
+
+(* ---- lexing helpers ---------------------------------------------------- *)
+
+let failf line fmt =
+  Format.kasprintf (fun s -> Err.unsupportedf "line %d: %s" line s) fmt
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokens line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+(* Split tokens into positional arguments and key=value options. *)
+let split_args toks =
+  List.partition_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+        Right
+          ( String.sub tok 0 i,
+            String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> Left tok)
+    toks
+
+let opt_value opts key = List.assoc_opt key opts
+
+let parse_int ln what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failf ln "%s: expected an integer, got %S" what s
+
+let parse_float ln what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failf ln "%s: expected a number, got %S" what s
+
+let parse_size ln what s =
+  match String.split_on_char 'x' s with
+  | [ w; h ] -> Size.v (parse_int ln what w) (parse_int ln what h)
+  | _ -> failf ln "%s: expected WxH, got %S" what s
+
+let required ln opts key what =
+  match opt_value opts key with
+  | Some v -> v
+  | None -> failf ln "missing %s=... (%s)" key what
+
+(* ---- statement handling ------------------------------------------------ *)
+
+type state = {
+  g : Graph.t;
+  mutable names : (string * Graph.node_id) list;
+  mutable ins : (string * Graph.node_id) list;
+  mutable outs : (string * K.Sink.collector) list;
+  mutable frames_streamed : int option;
+  mutable first_rate : Rate.t option;
+}
+
+let lookup st ln name =
+  match List.assoc_opt name st.names with
+  | Some id -> id
+  | None -> failf ln "unknown node %S" name
+
+let check_fresh st ln name =
+  if List.mem_assoc name st.names then failf ln "duplicate name %S" name
+
+let define st ln name id =
+  check_fresh st ln name;
+  st.names <- (name, id) :: st.names
+
+let stmt_input st ln name flags opts =
+  check_fresh st ln name;
+  let frame = parse_size ln "frame" (required ln opts "frame" "input frame") in
+  let rate = Rate.hz (parse_float ln "rate" (required ln opts "rate" "input rate")) in
+  let n_frames =
+    match opt_value opts "frames" with
+    | Some v -> parse_int ln "frames" v
+    | None -> 3
+  in
+  let seed =
+    match opt_value opts "seed" with Some v -> parse_int ln "seed" v | None -> 1
+  in
+  (match List.filter (fun f -> f <> "noeol") flags with
+  | [] -> ()
+  | f :: _ -> failf ln "unexpected token %S" f);
+  let emit_eol = not (List.mem "noeol" flags) in
+  let frames = Image.Gen.frame_sequence ~seed frame n_frames in
+  let id =
+    Graph.add st.g ~name
+      ~meta:(Graph.Source_meta { frame; rate })
+      (K.Source.spec ~emit_eol ~class_name:name ~frame ~frames ())
+  in
+  define st ln name id;
+  st.ins <- st.ins @ [ (name, id) ];
+  if st.frames_streamed = None then begin
+    st.frames_streamed <- Some n_frames;
+    st.first_rate <- Some rate
+  end
+
+let stmt_const st ln name opts =
+  check_fresh st ln name;
+  let chunk =
+    match (opt_value opts "size", opt_value opts "bins") with
+    | Some size, None -> (
+      let s = parse_size ln "size" size in
+      match (opt_value opts "value", opt_value opts "values") with
+      | Some v, None -> Image.Gen.constant s (parse_float ln "value" v)
+      | None, Some vs ->
+        let parsed =
+          List.map (parse_float ln "values") (String.split_on_char ',' vs)
+        in
+        if List.length parsed <> Size.area s then
+          failf ln "values: expected %d numbers, got %d" (Size.area s)
+            (List.length parsed);
+        Image.of_scanline_list s parsed
+      | _ -> failf ln "const needs exactly one of value=V or values=v1,v2,...")
+    | None, Some bins ->
+      let bins = parse_int ln "bins" bins in
+      let lo = parse_float ln "lo" (required ln opts "lo" "bin range") in
+      let hi = parse_float ln "hi" (required ln opts "hi" "bin range") in
+      K.Histogram.bin_lower_bounds ~bins ~lo ~hi
+    | _ -> failf ln "const needs either size=WxH value=V or bins=N lo=L hi=H"
+  in
+  let id = Graph.add st.g ~name (K.Source.const ~class_name:name ~chunk ()) in
+  define st ln name id
+
+let stmt_kernel st ln name kind args opts =
+  check_fresh st ln name;
+  let int_arg i what =
+    match List.nth_opt args i with
+    | Some v -> parse_int ln what v
+    | None -> failf ln "kernel %s: missing argument %s" kind what
+  in
+  let float_arg i what =
+    match List.nth_opt args i with
+    | Some v -> parse_float ln what v
+    | None -> failf ln "kernel %s: missing argument %s" kind what
+  in
+  let spec =
+    match kind with
+    | "conv" -> K.Conv.spec ~w:(int_arg 0 "width") ~h:(int_arg 1 "height") ()
+    | "median" ->
+      K.Median.spec ~w:(int_arg 0 "width") ~h:(int_arg 1 "height") ()
+    | "subtract" -> K.Arith.subtract ()
+    | "absdiff" -> K.Arith.absdiff ()
+    | "forward" -> K.Arith.forward ()
+    | "gain" -> K.Arith.gain (float_arg 0 "factor")
+    | "add" -> K.Arith.add_const (float_arg 0 "offset")
+    | "histogram" ->
+      let bins = parse_int ln "bins" (required ln opts "bins" "histogram") in
+      K.Histogram.spec ~bins ()
+    | "merge" ->
+      let bins = parse_int ln "bins" (required ln opts "bins" "merge") in
+      K.Histogram.merge ~bins ()
+    | "bayer" ->
+      let frame = parse_size ln "frame" (required ln opts "frame" "bayer") in
+      K.Bayer.spec ~frame ()
+    | "decimate" ->
+      K.Decimate.spec ~fx:(int_arg 0 "fx") ~fy:(int_arg 1 "fy") ()
+    | "upsample" ->
+      K.Upsample.spec ~fx:(int_arg 0 "fx") ~fy:(int_arg 1 "fy") ()
+    | "add2" -> K.Arith.add2 ()
+    | "fir" ->
+      (* A 1-D FIR is a 1-row convolution; taps arrive on its coeff port. *)
+      K.Conv.spec ~w:(int_arg 0 "taps") ~h:1 ()
+    | "delay" ->
+      (* A one-frame delay line: an initial frame of zeros, then
+         passthrough. Its input channel must be deep enough to hold a
+         frame (use cap= on the connection). *)
+      let frame = parse_size ln "frame" (required ln opts "frame" "delay") in
+      K.Feedback.init ~class_name:name ~window:Bp_geometry.Window.pixel
+        ~initial:
+          (List.init (Size.area frame) (fun _ ->
+               Image.Gen.constant Size.one 0.))
+        ()
+    | "changedetect" ->
+      (* |in0 - in1| with a token-free in1 — pair it with a delay. *)
+      K.Feedback.loop_combine ~class_name:name (fun a b ->
+          Float.abs (a -. b))
+    | other ->
+      failf ln "unknown kernel kind %S (expected one of %s)" other
+        (String.concat ", " kernel_kinds)
+  in
+  define st ln name (Graph.add st.g ~name spec)
+
+let stmt_output st ln name opts =
+  check_fresh st ln name;
+  let window =
+    match opt_value opts "window" with
+    | Some s ->
+      let size = parse_size ln "window" s in
+      Window.block size.Size.w size.Size.h
+    | None -> Window.pixel
+  in
+  let collector = K.Sink.collector () in
+  let id =
+    Graph.add st.g ~name (K.Sink.spec ~class_name:name ~window collector ())
+  in
+  define st ln name id;
+  st.outs <- st.outs @ [ (name, collector) ]
+
+let parse_endpoint st ln s =
+  match String.split_on_char '.' s with
+  | [ node; port ] -> (lookup st ln node, port)
+  | _ -> failf ln "expected NODE.PORT, got %S" s
+
+let stmt_connect st ln src dst opts =
+  let from = parse_endpoint st ln src in
+  let into = parse_endpoint st ln dst in
+  let capacity =
+    match opt_value opts "cap" with
+    | Some v -> Some (parse_int ln "cap" v)
+    | None -> None
+  in
+  match Err.guard (fun () -> Graph.connect st.g ?capacity ~from ~into) with
+  | Ok () -> ()
+  | Error e -> failf ln "%s" (Err.to_string e)
+
+let stmt_dep st ln src dst =
+  Graph.add_dep st.g ~src:(lookup st ln src) ~dst:(lookup st ln dst)
+
+let parse source =
+  let st =
+    {
+      g = Graph.create ();
+      names = [];
+      ins = [];
+      outs = [];
+      frames_streamed = None;
+      first_rate = None;
+    }
+  in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i raw ->
+      let ln = i + 1 in
+      match tokens (strip_comment raw) with
+      | [] -> ()
+      | toks -> (
+        let args, opts = split_args toks in
+        match args with
+        | "input" :: name :: flags -> stmt_input st ln name flags opts
+        | "const" :: name :: rest when rest = [] -> stmt_const st ln name opts
+        | "kernel" :: name :: kind :: kargs ->
+          stmt_kernel st ln name kind kargs opts
+        | "output" :: name :: rest when rest = [] ->
+          stmt_output st ln name opts
+        | [ "dep"; src; "->"; dst ] -> stmt_dep st ln src dst
+        | [ src; "->"; dst ] -> stmt_connect st ln src dst opts
+        | first :: _ -> failf ln "cannot parse statement starting with %S" first
+        | [] -> ()))
+    lines;
+  if st.ins = [] then Err.unsupportedf "program has no input";
+  if st.outs = [] then Err.unsupportedf "program has no output";
+  (match Err.guard (fun () -> Graph.validate st.g) with
+  | Ok () -> ()
+  | Error e -> Err.unsupportedf "invalid program: %s" (Err.to_string e));
+  {
+    graph = st.g;
+    inputs = st.ins;
+    outputs = st.outs;
+    n_frames = Option.value st.frames_streamed ~default:0;
+    rate = st.first_rate;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse (really_input_string ic len))

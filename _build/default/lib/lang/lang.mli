@@ -1,0 +1,57 @@
+(** A textual application description.
+
+    The paper embeds kernel definitions in Java; this module provides the
+    equivalent stand-alone surface syntax for wiring the standard kernel
+    library into an application graph, so programs can be written as plain
+    text files and driven through [bpc]. One statement per line; [#] starts
+    a comment. Statements:
+
+    {v
+    input  NAME frame=WxH rate=HZ [frames=N] [seed=K] [noeol]
+    const  NAME size=WxH value=V
+    const  NAME size=WxH values=v1,v2,...   # scan-line order
+    const  NAME bins=N lo=L hi=H
+    kernel NAME KIND [ARGS] [key=value ...]
+    output NAME [window=WxH]
+    SRC.PORT -> DST.PORT [cap=N]
+    dep SRC -> DST
+    v}
+
+    Kernel kinds and their arguments:
+    - [conv W H] — windowed convolution (coefficients via a [const] wired
+      to its [coeff] port);
+    - [median W H];
+    - [subtract], [absdiff], [forward];
+    - [gain K], [add K];
+    - [histogram bins=N lo=L hi=H] (bin bounds via its [bins] port);
+    - [merge bins=N];
+    - [bayer frame=WxH];
+    - [decimate FX FY], [upsample FX FY];
+    - [add2] — two-input elementwise sum;
+    - [fir N] — 1-D FIR over a row stream (taps via its [taps] port);
+    - [delay frame=WxH] — a one-frame delay line (give its input channel a
+      frame of capacity with [cap=]);
+    - [changedetect] — |in0 − in1| where in1 carries no tokens (pair with
+      [delay]).
+
+    Everything the compiler inserts (buffers, splits, joins, insets) is
+    absent from the syntax by design. *)
+
+type program = {
+  graph : Bp_graph.Graph.t;
+  inputs : (string * Bp_graph.Graph.node_id) list;
+  outputs : (string * Bp_kernels.Sink.collector) list;
+  n_frames : int;  (** Frames streamed by the first input. *)
+  rate : Bp_geometry.Rate.t option;  (** Rate of the first input. *)
+}
+
+val parse : string -> program
+(** [parse source] builds the application graph. Fails with
+    {!Bp_util.Err.Unsupported} carrying a [line N:] prefix on any syntax or
+    semantic error. *)
+
+val parse_file : string -> program
+(** [parse_file path] reads and parses a [.bp] file. *)
+
+val kernel_kinds : string list
+(** The kinds accepted after [kernel], for help text. *)

@@ -1,0 +1,1 @@
+lib/placement/placement.ml: Array Bp_analysis Bp_graph Bp_sim Bp_util Format Hashtbl List Prng

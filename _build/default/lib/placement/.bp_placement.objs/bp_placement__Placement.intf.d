@@ -1,0 +1,1 @@
+lib/placement/placement.mli: Bp_analysis Bp_sim Format

@@ -1,0 +1,51 @@
+(** Simulated-annealing placement onto a 2-D mesh.
+
+    The paper implements (but does not integrate) a simulated-annealing
+    placer: throughput is insensitive to placement, which only affects
+    first-output latency and communication energy (Section IV-D). This
+    module reproduces that component: given a compiled graph and a
+    kernel-to-processor mapping, it assigns processors to tiles of a square
+    mesh network-on-chip, minimizing the total
+    words-per-frame × Manhattan-distance communication cost.
+
+    The placer is deterministic for a given seed. *)
+
+type placement = {
+  mesh_side : int;  (** The mesh is [mesh_side × mesh_side] tiles. *)
+  tile_of : int -> int * int;
+      (** Tile coordinates of each processor (off-chip endpoints are pinned
+          to tile (0,0)'s edge and excluded from optimization). *)
+  cost : float;  (** Total weighted Manhattan communication cost. *)
+}
+
+type options = {
+  seed : int;
+  initial_temperature : float;
+  cooling : float;  (** Geometric cooling factor per sweep, in (0,1). *)
+  sweeps : int;  (** Number of temperature steps. *)
+  moves_per_sweep : int;
+}
+
+val default_options : options
+
+val communication_cost :
+  Bp_analysis.Dataflow.t -> Bp_sim.Mapping.t -> (int -> int * int) -> float
+(** [communication_cost an mapping tile_of] is the words-per-frame-weighted
+    Manhattan distance summed over all channels whose endpoints live on
+    distinct processors. Channels to or from off-chip nodes cost the
+    distance to tile (0,0). *)
+
+val place :
+  ?options:options ->
+  Bp_analysis.Dataflow.t ->
+  Bp_sim.Mapping.t ->
+  placement
+(** Anneal a placement for the mapping's processors. The mesh side is the
+    smallest square that fits them. *)
+
+val random_placement :
+  seed:int -> Bp_analysis.Dataflow.t -> Bp_sim.Mapping.t -> placement
+(** A uniformly random placement (the annealer's starting point), useful as
+    a baseline in the ablation bench. *)
+
+val pp : Format.formatter -> placement -> unit

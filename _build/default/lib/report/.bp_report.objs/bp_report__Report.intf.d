@@ -1,0 +1,1 @@
+lib/report/report.mli: Bp_analysis Bp_apps Bp_geometry Format

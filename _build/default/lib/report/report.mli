@@ -1,0 +1,166 @@
+(** Reproduction harness: one entry per figure/table of the paper.
+
+    Every [figN] function rebuilds the relevant workload from scratch, runs
+    whatever analysis/compilation/simulation the artifact needs, prints a
+    plain-text rendering to the given formatter, and returns structured
+    results so tests and benches can assert on the shape (who wins, by what
+    factor) without parsing text. See EXPERIMENTS.md for paper-vs-measured
+    commentary. *)
+
+type fig2_row = {
+  kernel : string;
+  iterations : Bp_geometry.Size.t option;
+  rate_hz : float option;
+  inset : Bp_geometry.Inset.t option;  (** Of the kernel's output stream. *)
+}
+
+val fig2 : Format.formatter -> fig2_row list
+(** Iteration sizes, rates and insets of the Figure 1(b) application —
+    the annotations of Figure 2. *)
+
+type fig3_result = {
+  buffers : (string * Bp_geometry.Size.t) list;  (** name, storage. *)
+  insets : (string * (int * int * int * int)) list;  (** name, margins. *)
+}
+
+val fig3 : Format.formatter -> fig3_result
+(** Automatic buffering and trimming of the example (Figure 3). *)
+
+type fig4_result = {
+  replicas : (string * int) list;  (** kernel class -> instances. *)
+  splits : int;
+  joins : int;
+  total_nodes : int;
+  real_time_met : bool;
+}
+
+val fig4 : Format.formatter -> fig4_result
+(** The example parallelized for a demanding input (Figure 4), simulated to
+    verify the throughput. *)
+
+val fig5 : Format.formatter -> (string * Bp_analysis.Reuse.t) list
+(** Data access and reuse of representative windows (Figure 5(b)); the 5×5
+    unit-step window must report 24/25 reuse. *)
+
+type fig8_result = {
+  median_inset : Bp_geometry.Inset.t;
+  conv_inset : Bp_geometry.Inset.t;
+  trim_margins : (int * int * int * int) list;  (** Per repaired input. *)
+}
+
+val fig8 : Format.formatter -> fig8_result
+(** Output alignment at the subtract kernel (Figure 8). *)
+
+type fig9_row = {
+  variant : Bp_apps.Reuse_variants.variant;
+  stalls : int;
+  late : int;
+  met : bool;
+  worst_interval_ms : float;
+  exact : bool;
+}
+
+val fig9 : Format.formatter -> fig9_row list
+(** The buffering-for-reuse ablation (Figure 9): round-robin meets rate,
+    blocked-without-output-buffers misses it, blocked-with-buffers meets
+    it, all producing identical pixels. *)
+
+type fig10_result = {
+  ranges : (int * int) array;
+  overlap_columns : int list;  (** Columns sent to more than one stripe. *)
+  pattern : int array;
+  exact : bool;  (** Striped execution matches the golden filter. *)
+}
+
+val fig10 : Format.formatter -> fig10_result
+(** Column-wise buffer splitting with overlap replication (Figure 10). *)
+
+type fig11_row = {
+  config : string;  (** "Small/Slow" ... *)
+  buffers : int;  (** Buffer kernels after splitting. *)
+  compute_replicas : int;  (** Compute kernel instances. *)
+  pes_1to1 : int;
+  met : bool;
+}
+
+val fig11 : Format.formatter -> fig11_row list
+(** Parallelization across the four input size/rate corners (Figure 11):
+    bigger inputs add buffers, faster rates add compute replicas, all four
+    meet their rates. *)
+
+type fig12_result = {
+  pes_1to1 : int;
+  pes_greedy : int;
+  util_1to1 : float;
+  util_greedy : float;
+}
+
+val fig12 : Format.formatter -> fig12_result
+(** Kernel-to-processor mappings of the example (Figure 12) with measured
+    utilizations (the Section V "20% to 37%" numbers). *)
+
+type fig13_row = {
+  label : string;
+  mapping : string;  (** "1:1" or "GM". *)
+  pes : int;
+  run : float;
+  read : float;
+  write : float;
+  total : float;
+  rt_met : bool;
+  functional : bool;
+}
+
+type fig13_result = {
+  rows : fig13_row list;
+  average_improvement : float;
+      (** Mean over benchmarks of GM/1:1 utilization — the paper reports
+          1.5×. *)
+}
+
+val fig13 : Format.formatter -> fig13_result
+(** Processor utilization for the full benchmark suite under both mappings
+    (Figure 13). *)
+
+type placement_result = {
+  random_cost : float;
+  annealed_cost : float;
+  improvement : float;
+}
+
+val placement_ablation : Format.formatter -> placement_result
+(** The standalone simulated-annealing placer on the compiled example:
+    annealed communication cost must beat a random placement. *)
+
+type energy_row = {
+  e_mapping : string;
+  e_pes : int;
+  e_total_uj : float;
+  e_static_uj : float;
+}
+
+val energy_ablation : Format.formatter -> energy_row list
+(** Extension: the energy consequence of greedy multiplexing on the running
+    example — same active work, fewer powered processors, lower static and
+    total energy (the quantitative version of Section V's motivation). *)
+
+val export_dots : dir:string -> Format.formatter -> string list
+(** Write Graphviz renderings of the figure graphs into [dir]:
+    [fig1b.dot] (the raw application), [fig3.dot] (buffered and trimmed),
+    [fig4.dot] (parallelized), and [fig12.dot] (parallelized with the
+    greedy processor clusters). Returns the paths written. *)
+
+type machine_row = {
+  m_name : string;
+  m_compute_kernels : int;
+  m_pes_1to1 : int;
+  m_met : bool;
+}
+
+val machine_ablation : Format.formatter -> machine_row list
+(** Extension: the same application and rate compiled against the default
+    and the 4× faster PE — faster processors need fewer replicas and fewer
+    cores for the same guarantee. *)
+
+val all : Format.formatter -> unit
+(** Run every reproduction in paper order. *)

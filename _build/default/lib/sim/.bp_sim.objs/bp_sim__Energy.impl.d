@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Array Bp_machine Format Sim

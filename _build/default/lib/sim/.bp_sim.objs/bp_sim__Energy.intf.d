@@ -1,0 +1,1 @@
+lib/sim/energy.mli: Bp_machine Format Sim

@@ -1,0 +1,1 @@
+lib/sim/mapping.ml: Array Bp_graph Bp_kernel Bp_util Err Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/sim/mapping.mli: Bp_graph Format

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Bp_geometry Bp_graph Bp_kernel Bp_machine Bp_token Bp_util Err Float Format Hashtbl Heap List Mapping Queue Stats

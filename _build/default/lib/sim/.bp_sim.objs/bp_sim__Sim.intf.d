@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Bp_graph Bp_kernel Bp_machine Format Mapping

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Bp_graph Buffer Bytes Float Hashtbl List Option Printf

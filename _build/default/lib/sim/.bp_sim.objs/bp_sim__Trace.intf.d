@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Bp_graph

@@ -1,0 +1,18 @@
+(** A minimal binary min-heap keyed by (time, sequence).
+
+    The event queue of the simulator. Ties on time break by insertion
+    sequence, making runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,546 @@
+open Bp_util
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Item = Bp_kernel.Item
+module Behaviour = Bp_kernel.Behaviour
+module Machine = Bp_machine.Machine
+module Token = Bp_token.Token
+module Size = Bp_geometry.Size
+module Rate = Bp_geometry.Rate
+
+type proc_stats = {
+  run_s : float;
+  read_s : float;
+  write_s : float;
+  fires : int;
+}
+
+type node_stats = { node_fires : int; node_busy_s : float }
+
+type result = {
+  duration_s : float;
+  procs : proc_stats array;
+  input_stalls : int;
+  late_emissions : int;
+  max_input_lateness_s : float;
+  sink_eofs : (Graph.node_id * float list) list;
+  sink_first_data : (Graph.node_id * float) list;
+  node_stats : (Graph.node_id * node_stats) list;
+  channel_depths : (int * int) list;  (* channel id -> max occupancy *)
+  leftover_channels : (int * int * Item.t) list;
+  leftover_items : int;
+  timed_out : bool;
+}
+
+type placement_model = {
+  tile_of_proc : int -> int * int;
+  hop_cycles_per_word : float;
+}
+
+(* ---- runtime structures ---------------------------------------------- *)
+
+type chan_rt = {
+  queue : Item.t Queue.t;
+  capacity : int;
+  mutable hops : int;  (* mesh distance between producer and consumer *)
+  mutable max_depth : int;
+}
+
+type node_rt = {
+  node : Graph.node;
+  behaviour : Behaviour.t;
+  in_chans : (string * chan_rt) list;
+  out_chans : (string * chan_rt list) list;
+  proc : int option;
+  mutable rt_fires : int;
+  mutable rt_busy : float;
+}
+
+type proc_rt = {
+  mutable busy_until : float;
+  mutable cursor : int;  (* round-robin position among its kernels *)
+  mutable last_fired : int;  (* kernel index of the previous firing *)
+  kernels : node_rt array;
+  mutable p_run : float;
+  mutable p_read : float;
+  mutable p_write : float;
+  mutable p_fires : int;
+}
+
+type source_rt = {
+  src : node_rt;
+  period : float;
+  mutable next_due : float;
+  mutable stalls : int;
+  mutable late : int;
+  mutable max_late : float;
+}
+
+type event = Source_slot of source_rt | Const_emit of node_rt | Proc_free of int
+
+(* ---- io construction -------------------------------------------------- *)
+
+let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop =
+  let find_in port =
+    match List.assoc_opt port rt.in_chans with
+    | Some c -> c
+    | None -> Err.graphf "%s: no input channel %S" rt.node.Graph.name port
+  in
+  let find_outs port =
+    match List.assoc_opt port rt.out_chans with
+    | Some cs -> cs
+    | None -> Err.graphf "%s: no output channel %S" rt.node.Graph.name port
+  in
+  {
+    Behaviour.peek =
+      (fun port ->
+        let c = find_in port in
+        if Queue.is_empty c.queue then None else Some (Queue.peek c.queue));
+    pop =
+      (fun port ->
+        let c = find_in port in
+        if Queue.is_empty c.queue then
+          Err.graphf "%s: pop from empty input %S" rt.node.Graph.name port;
+        let item = Queue.pop c.queue in
+        read_words := !read_words + Item.words item;
+        on_pop item;
+        item);
+    push =
+      (fun port item ->
+        let cs = find_outs port in
+        List.iter
+          (fun c ->
+            if Queue.length c.queue >= c.capacity then
+              Err.graphf "%s: push to full channel on %S" rt.node.Graph.name
+                port;
+            Queue.push item c.queue;
+            if Queue.length c.queue > c.max_depth then
+              c.max_depth <- Queue.length c.queue;
+            write_words := !write_words + Item.words item;
+            hop_words := !hop_words + (c.hops * Item.words item))
+          cs);
+    space =
+      (fun port ->
+        match find_outs port with
+        | [] -> max_int
+        | cs ->
+          List.fold_left
+            (fun acc c -> min acc (c.capacity - Queue.length c.queue))
+            max_int cs);
+  }
+
+(* ---- main engine ------------------------------------------------------ *)
+
+let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
+    ?(observer = fun ~time_s:_ ~proc:_ ~node:_ ~method_name:_ ~service_s:_ -> ())
+    ~graph:g ~mapping ~machine () =
+  Graph.validate g;
+  let pe = machine.Machine.pe in
+  (* Channels. *)
+  let chans = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Graph.channel) ->
+      Hashtbl.replace chans c.Graph.chan_id
+        {
+          queue = Queue.create ();
+          capacity = c.Graph.capacity;
+          hops = 0;
+          max_depth = 0;
+        })
+    (Graph.channels g);
+  let chan_rt id = Hashtbl.find chans id in
+  (* Node runtimes. *)
+  let sink_eof_times : (Graph.node_id, float list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let sink_first_data : (Graph.node_id, float) Hashtbl.t = Hashtbl.create 8 in
+  let now = ref 0. in
+  let node_rts = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Graph.node) ->
+      let in_chans =
+        List.map
+          (fun (c : Graph.channel) ->
+            (c.Graph.dst.Graph.port, chan_rt c.Graph.chan_id))
+          (Graph.in_channels g n.Graph.id)
+      in
+      let out_chans =
+        List.map
+          (fun (p : Bp_kernel.Port.t) ->
+            ( p.Bp_kernel.Port.name,
+              List.map
+                (fun (c : Graph.channel) -> chan_rt c.Graph.chan_id)
+                (Graph.out_channels g n.Graph.id ~port:p.Bp_kernel.Port.name ()) ))
+          n.Graph.spec.Spec.outputs
+      in
+      let rt =
+        {
+          node = n;
+          behaviour = n.Graph.spec.Spec.make_behaviour ();
+          in_chans;
+          out_chans;
+          proc = Mapping.processor_of mapping n.Graph.id;
+          rt_fires = 0;
+          rt_busy = 0.;
+        }
+      in
+      if n.Graph.spec.Spec.role = Spec.Sink then
+        Hashtbl.replace sink_eof_times n.Graph.id (ref []);
+      Hashtbl.replace node_rts n.Graph.id rt)
+    (Graph.nodes g);
+  let node_rt id = Hashtbl.find node_rts id in
+  (* Network distances, when a placement is supplied: off-chip endpoints
+     (sources, sinks) sit at the mesh edge, tile (0,0). *)
+  (match placement with
+  | None -> ()
+  | Some p ->
+    let tile id =
+      match Mapping.processor_of mapping id with
+      | Some proc -> p.tile_of_proc proc
+      | None -> (0, 0)
+    in
+    List.iter
+      (fun (c : Graph.channel) ->
+        let x0, y0 = tile c.Graph.src.Graph.node in
+        let x1, y1 = tile c.Graph.dst.Graph.node in
+        (chan_rt c.Graph.chan_id).hops <- abs (x0 - x1) + abs (y0 - y1))
+      (Graph.channels g));
+  (* Processors. *)
+  let procs =
+    Array.init (Mapping.processors mapping) (fun p ->
+        {
+          busy_until = 0.;
+          cursor = 0;
+          last_fired = -1;
+          kernels =
+            Array.of_list (List.map node_rt (Mapping.nodes_on mapping p));
+          p_run = 0.;
+          p_read = 0.;
+          p_write = 0.;
+          p_fires = 0;
+        })
+  in
+  let events : event Heap.t = Heap.create () in
+  (* One step of a node, with word accounting; returns service time split. *)
+  let hop_cycles_per_word =
+    match placement with
+    | Some p -> p.hop_cycles_per_word
+    | None -> 0.
+  in
+  let step_node (rt : node_rt) =
+    let read_words = ref 0 and write_words = ref 0 in
+    let hop_words = ref 0 in
+    let on_pop item =
+      match (rt.node.Graph.spec.Spec.role, item) with
+      | Spec.Sink, Item.Ctl tok when tok.Token.kind = Token.End_of_frame ->
+        let times = Hashtbl.find sink_eof_times rt.node.Graph.id in
+        times := !now :: !times
+      | Spec.Sink, Item.Data _ ->
+        if not (Hashtbl.mem sink_first_data rt.node.Graph.id) then
+          Hashtbl.replace sink_first_data rt.node.Graph.id !now
+      | _ -> ()
+    in
+    let io = make_io rt ~read_words ~write_words ~hop_words ~on_pop in
+    match rt.behaviour.Behaviour.try_step io with
+    | None -> None
+    | Some fired ->
+      let read_s = Machine.read_time_s pe ~words:!read_words in
+      let write_s =
+        Machine.write_time_s pe ~words:!write_words
+        +. (float_of_int !hop_words *. hop_cycles_per_word
+           /. pe.Machine.freq_hz)
+      in
+      let run_s = float_of_int fired.Behaviour.cycles *. Machine.cycle_time_s pe in
+      rt.rt_fires <- rt.rt_fires + 1;
+      Some (fired, read_s, run_s, write_s)
+  in
+  (* Sinks drain instantly (off-chip). *)
+  let drain_sinks () =
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      List.iter
+        (fun (n : Graph.node) ->
+          let rt = node_rt n.Graph.id in
+          match step_node rt with
+          | Some _ -> progressed := true
+          | None -> ())
+        (Graph.sinks g)
+    done
+  in
+  (* Try to start one firing on an idle processor. *)
+  let try_dispatch p =
+    let proc = procs.(p) in
+    if proc.busy_until > !now +. 1e-15 then false
+    else begin
+      let k = Array.length proc.kernels in
+      let rec attempt i =
+        if i >= k then false
+        else begin
+          let idx = (proc.cursor + i) mod k in
+          let rt = proc.kernels.(idx) in
+          match step_node rt with
+          | None -> attempt (i + 1)
+          | Some (fired, read_s, run_s, write_s) ->
+            (* Context-switch charge when a multiplexed PE changes kernel. *)
+            let run_s =
+              if proc.last_fired >= 0 && proc.last_fired <> idx then
+                run_s +. (pe.Machine.switch_cycles *. Machine.cycle_time_s pe)
+              else run_s
+            in
+            proc.last_fired <- idx;
+            let service = read_s +. run_s +. write_s in
+            observer ~time_s:!now ~proc:p ~node:rt.node
+              ~method_name:fired.Behaviour.method_name ~service_s:service;
+            proc.busy_until <- !now +. service;
+            proc.cursor <- (idx + 1) mod k;
+            proc.p_run <- proc.p_run +. run_s;
+            proc.p_read <- proc.p_read +. read_s;
+            proc.p_write <- proc.p_write +. write_s;
+            proc.p_fires <- proc.p_fires + 1;
+            rt.rt_busy <- rt.rt_busy +. service;
+            Heap.push events ~time:proc.busy_until (Proc_free p);
+            true
+        end
+      in
+      attempt 0
+    end
+  in
+  let dispatch_all () =
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      drain_sinks ();
+      Array.iteri
+        (fun p _ -> if try_dispatch p then progressed := true)
+        procs
+    done;
+    drain_sinks ()
+  in
+  (* Constant sources emit before the first source slot so configuration
+     data (coefficients, bin bounds) is in place when pixel 0 arrives. *)
+  List.iter
+    (fun (n : Graph.node) ->
+      Heap.push events ~time:0. (Const_emit (node_rt n.Graph.id)))
+    (Graph.const_sources g);
+  (* Sources. *)
+  let source_rts =
+    List.map
+      (fun (n : Graph.node) ->
+        let frame, rate =
+          match n.Graph.meta with
+          | Graph.Source_meta { frame; rate } -> (frame, rate)
+          | _ -> Err.graphf "source %s lacks Source_meta" n.Graph.name
+        in
+        let period = Rate.element_period_s rate ~frame in
+        let s =
+          {
+            src = node_rt n.Graph.id;
+            period;
+            next_due = 0.;
+            stalls = 0;
+            late = 0;
+            max_late = 0.;
+          }
+        in
+        Heap.push events ~time:0. (Source_slot s);
+        s)
+      (Graph.sources g)
+  in
+  (* Main loop. *)
+  let processed = ref 0 in
+  let timed_out = ref false in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop events with
+    | None -> continue := false
+    | Some (time, ev) ->
+      incr processed;
+      if time > max_time_s || !processed > max_events then begin
+        timed_out := true;
+        continue := false
+      end
+      else begin
+        now := max !now time;
+        (match ev with
+        | Proc_free _ -> ()
+        | Const_emit rt -> (
+          match step_node rt with
+          | Some _ -> ()
+          | None ->
+            (* Only retry while the chunk is still pending (a const source
+               that already emitted returns None forever). *)
+            let has_space =
+              List.for_all
+                (fun (_, cs) ->
+                  List.for_all
+                    (fun c -> Queue.length c.queue < c.capacity)
+                    cs)
+                rt.out_chans
+            in
+            if not has_space then
+              Heap.push events ~time:(!now +. 1e-6) (Const_emit rt))
+        | Source_slot s -> (
+          match step_node s.src with
+          | Some _ ->
+            let lateness = !now -. s.next_due in
+            if lateness > 1e-12 then begin
+              s.late <- s.late + 1;
+              if lateness > s.max_late then s.max_late <- lateness
+            end;
+            s.next_due <- s.next_due +. s.period;
+            Heap.push events ~time:(Float.max s.next_due !now) (Source_slot s)
+          | None ->
+            (* Distinguish an exhausted source (no more frames: every output
+               has room yet nothing was emitted) from a blocked one. *)
+            let blocked =
+              List.exists
+                (fun (_, cs) ->
+                  List.exists
+                    (fun c -> c.capacity - Queue.length c.queue < 3)
+                    cs)
+                s.src.out_chans
+            in
+            if blocked then begin
+              (* The downstream channel is full at the scheduled time: the
+                 input would be dropped or stall the camera. *)
+              s.stalls <- s.stalls + 1;
+              Heap.push events ~time:(!now +. (s.period /. 4.)) (Source_slot s)
+            end));
+        dispatch_all ()
+      end
+  done;
+  let leftover_items =
+    Hashtbl.fold (fun _ c acc -> acc + Queue.length c.queue) chans 0
+  in
+  let leftover_channels =
+    Hashtbl.fold
+      (fun id c acc ->
+        if Queue.is_empty c.queue then acc
+        else (id, Queue.length c.queue, Queue.peek c.queue) :: acc)
+      chans []
+  in
+  let proc_stats =
+    Array.map
+      (fun p ->
+        { run_s = p.p_run; read_s = p.p_read; write_s = p.p_write; fires = p.p_fires })
+      procs
+  in
+  {
+    duration_s = !now;
+    procs = proc_stats;
+    input_stalls = List.fold_left (fun a s -> a + s.stalls) 0 source_rts;
+    late_emissions = List.fold_left (fun a s -> a + s.late) 0 source_rts;
+    max_input_lateness_s =
+      List.fold_left (fun a s -> Float.max a s.max_late) 0. source_rts;
+    sink_eofs =
+      Hashtbl.fold
+        (fun id times acc -> (id, List.rev !times) :: acc)
+        sink_eof_times [];
+    sink_first_data =
+      Hashtbl.fold (fun id t acc -> (id, t) :: acc) sink_first_data [];
+    channel_depths =
+      Hashtbl.fold (fun id c acc -> (id, c.max_depth) :: acc) chans [];
+    leftover_channels;
+    node_stats =
+      Hashtbl.fold
+        (fun id rt acc ->
+          (id, { node_fires = rt.rt_fires; node_busy_s = rt.rt_busy }) :: acc)
+        node_rts [];
+    leftover_items;
+    timed_out = !timed_out;
+  }
+
+let first_output_latency_s r =
+  match r.sink_first_data with
+  | [] -> None
+  | l -> Some (List.fold_left (fun acc (_, t) -> Float.min acc t) infinity l)
+
+let utilization r ~proc =
+  if r.duration_s <= 0. then 0.
+  else
+    let p = r.procs.(proc) in
+    (p.run_s +. p.read_s +. p.write_s) /. r.duration_s
+
+let average_utilization r =
+  if Array.length r.procs = 0 then 0.
+  else
+    Array.fold_left ( +. ) 0.
+      (Array.mapi (fun i _ -> utilization r ~proc:i) r.procs)
+    /. float_of_int (Array.length r.procs)
+
+let utilization_breakdown r =
+  let total = float_of_int (Array.length r.procs) *. r.duration_s in
+  if total <= 0. then (0., 0., 0.)
+  else
+    let run = Array.fold_left (fun a p -> a +. p.run_s) 0. r.procs in
+    let read = Array.fold_left (fun a p -> a +. p.read_s) 0. r.procs in
+    let write = Array.fold_left (fun a p -> a +. p.write_s) 0. r.procs in
+    (run /. total, read /. total, write /. total)
+
+type verdict = {
+  met : bool;
+  frames_delivered : int;
+  mean_frame_interval_s : float;
+  worst_frame_interval_s : float;
+}
+
+let real_time_verdict r ~expected_frames ~period_s ?(tolerance = 0.05)
+    ?(allowed_leftover = 0) () =
+  let all_intervals =
+    List.concat_map
+      (fun (_, times) ->
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (b -. a) :: pairs rest
+          | _ -> []
+        in
+        pairs times)
+      r.sink_eofs
+  in
+  let frames_delivered =
+    match r.sink_eofs with
+    | [] -> 0
+    | eofs -> List.fold_left (fun acc (_, ts) -> min acc (List.length ts))
+                max_int eofs
+  in
+  let frames_delivered = if frames_delivered = max_int then 0 else frames_delivered in
+  let mean_i = Stats.mean all_intervals in
+  let worst_i = match all_intervals with [] -> 0. | l -> Stats.maximum l in
+  let met =
+    r.input_stalls = 0 && r.late_emissions = 0
+    && r.leftover_items <= allowed_leftover
+    && (not r.timed_out)
+    && frames_delivered >= expected_frames
+    && (all_intervals = [] || worst_i <= period_s *. (1. +. tolerance))
+  in
+  {
+    met;
+    frames_delivered;
+    mean_frame_interval_s = mean_i;
+    worst_frame_interval_s = worst_i;
+  }
+
+let pp_stuck g ppf r =
+  if r.leftover_channels = [] then
+    Format.fprintf ppf "nothing left queued@,"
+  else
+    List.iter
+      (fun (chan_id, count, front) ->
+        let c = Graph.channel g chan_id in
+        Format.fprintf ppf "  %s.%s -> %s.%s: %d items, front %a@,"
+          (Graph.node g c.Graph.src.Graph.node).Graph.name
+          c.Graph.src.Graph.port
+          (Graph.node g c.Graph.dst.Graph.node).Graph.name
+          c.Graph.dst.Graph.port count Item.pp front)
+      (List.sort compare r.leftover_channels)
+
+let pp_result ppf r =
+  let run, read, write = utilization_breakdown r in
+  Format.fprintf ppf
+    "sim: %.6fs, %d PEs, avg util %.1f%% (run %.1f%% read %.1f%% write \
+     %.1f%%), stalls %d, late %d, leftover %d%s"
+    r.duration_s (Array.length r.procs)
+    (100. *. average_utilization r)
+    (100. *. run) (100. *. read) (100. *. write) r.input_stalls
+    r.late_emissions r.leftover_items
+    (if r.timed_out then " (TIMED OUT)" else "")

@@ -1,0 +1,131 @@
+(** The timing-accurate functional simulator.
+
+    This is the evaluation substrate of the paper: a discrete-event
+    simulation that accounts for kernel execution time, channel read/write
+    (data access) time, buffer transfers, and processor scheduling — but not
+    placement or wire delay, which the paper argues do not affect a
+    throughput-constrained pipeline (Section IV-D). It is simultaneously
+    *functional*: kernels move and compute real pixel data, so a run's
+    outputs can be checked against reference image operations.
+
+    Model:
+    - every on-chip kernel instance is assigned to a processor by a
+      {!Mapping.t}; kernels sharing a processor are time-multiplexed
+      (round-robin among ready kernels, with an optional context-switch
+      charge);
+    - optionally, a {!placement} adds network-on-chip delay: writes across
+      distinct processors cost extra cycles proportional to the Manhattan
+      hop distance between their tiles. The paper omits this (Section
+      IV-D, arguing throughput is unaffected); supplying it here lets the
+      claim be tested rather than assumed;
+    - one firing occupies the processor for
+      [read_words·t_read + cycles·t_cycle + written_words·t_write];
+    - channels are bounded FIFOs; a kernel only fires when its outputs have
+      room, so backpressure propagates upstream;
+    - sources emit on the rigid schedule of their input rate; an emission
+      that finds its channel full is recorded as a late emission — the
+      real-time constraint is violated;
+    - sinks and sources are off-chip and consume no processor time. *)
+
+type proc_stats = {
+  run_s : float;  (** Time executing kernel methods. *)
+  read_s : float;  (** Time reading inputs. *)
+  write_s : float;  (** Time writing outputs. *)
+  fires : int;
+}
+
+type node_stats = { node_fires : int; node_busy_s : float }
+
+type result = {
+  duration_s : float;  (** Time of the last event. *)
+  procs : proc_stats array;
+  input_stalls : int;
+      (** Source emission attempts that found a full channel. *)
+  late_emissions : int;
+      (** Pixels that could not be emitted at their scheduled time. *)
+  max_input_lateness_s : float;
+  sink_eofs : (Bp_graph.Graph.node_id * float list) list;
+      (** Per sink, the times its end-of-frame tokens arrived. *)
+  sink_first_data : (Bp_graph.Graph.node_id * float) list;
+      (** Per sink, when its first data chunk arrived — the first-output
+          latency the paper notes is the only thing placement affects
+          (Section IV-D). *)
+  node_stats : (Bp_graph.Graph.node_id * node_stats) list;
+  channel_depths : (int * int) list;
+      (** Per channel (by id), the highest queue occupancy observed —
+          validates the sizing rules: a well-provisioned run never presses
+          a channel to its capacity for long. *)
+  leftover_channels : (int * int * Bp_kernel.Item.t) list;
+      (** Channels still holding items at quiescence: id, count, and the
+          stuck front item — the raw material of a deadlock diagnosis. *)
+  leftover_items : int;
+      (** Items still queued when the simulation went quiet — nonzero means
+          the graph deadlocked or was cut short by [max_time_s]. *)
+  timed_out : bool;
+}
+
+type placement_model = {
+  tile_of_proc : int -> int * int;
+      (** Mesh tile of each processor (e.g. from [Bp_placement]). *)
+  hop_cycles_per_word : float;  (** Extra write cycles per word per hop. *)
+}
+
+val run :
+  ?max_time_s:float ->
+  ?max_events:int ->
+  ?placement:placement_model ->
+  ?observer:
+    (time_s:float ->
+    proc:int ->
+    node:Bp_graph.Graph.node ->
+    method_name:string ->
+    service_s:float ->
+    unit) ->
+  graph:Bp_graph.Graph.t ->
+  mapping:Mapping.t ->
+  machine:Bp_machine.Machine.t ->
+  unit ->
+  result
+(** Simulate until quiescent. [max_time_s] (default 300 simulated seconds)
+    and [max_events] (default 50 million) bound runaway graphs; hitting
+    either sets [timed_out]. [observer] is invoked for every on-chip kernel
+    firing with its start time, processor, and service time — the hook the
+    {!Trace} module records through. *)
+
+val utilization : result -> proc:int -> float
+(** [(run+read+write) / duration] for one processor. *)
+
+val average_utilization : result -> float
+(** Mean utilization across processors (Figure 13's metric). *)
+
+val first_output_latency_s : result -> float option
+(** Earliest first-data arrival across sinks, if any data arrived. *)
+
+val utilization_breakdown : result -> float * float * float
+(** Aggregate (run, read, write) fractions of total processor-seconds,
+    each relative to [procs × duration]. *)
+
+type verdict = {
+  met : bool;
+  frames_delivered : int;
+  mean_frame_interval_s : float;
+  worst_frame_interval_s : float;
+}
+
+val real_time_verdict :
+  result -> expected_frames:int -> period_s:float -> ?tolerance:float ->
+  ?allowed_leftover:int -> unit -> verdict
+(** Did the run meet its real-time constraint? True when no emission was
+    late, every sink delivered [expected_frames] end-of-frames, at most
+    [allowed_leftover] items were left queued (default 0 — feedback loops
+    legitimately keep their last value circulating), and steady-state frame
+    intervals stayed within [period · (1+tolerance)] (default tolerance
+    5%). *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val pp_stuck : Bp_graph.Graph.t -> Format.formatter -> result -> unit
+(** Render the leftover channels with kernel and port names — call this
+    when [leftover_items > 0] to see where a graph wedged and on what
+    (a lone token on one input of a matched-token kernel is the classic
+    misalignment signature). *)

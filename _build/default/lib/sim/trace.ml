@@ -1,0 +1,78 @@
+type firing = {
+  at_s : float;
+  proc : int;
+  kernel : string;
+  method_name : string;
+  service_s : float;
+}
+
+type t = { mutable rev : firing list }
+
+let recorder () =
+  let t = { rev = [] } in
+  let observer ~time_s ~proc ~node ~method_name ~service_s =
+    t.rev <-
+      {
+        at_s = time_s;
+        proc;
+        kernel = node.Bp_graph.Graph.name;
+        method_name;
+        service_s;
+      }
+      :: t.rev
+  in
+  (t, observer)
+
+let firings t = List.rev t.rev
+let firings_on t ~proc = List.filter (fun f -> f.proc = proc) (firings t)
+
+let summary t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let fires, time =
+        Option.value ~default:(0, 0.) (Hashtbl.find_opt tbl f.kernel)
+      in
+      Hashtbl.replace tbl f.kernel (fires + 1, time +. f.service_s))
+    (firings t);
+  Hashtbl.fold (fun k (n, s) acc -> (k, n, s) :: acc) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+
+let busiest_kernel t =
+  match summary t with (k, _, s) :: _ -> Some (k, s) | [] -> None
+
+let gantt ?(width = 72) ?from_s ?until_s t =
+  let fs = firings t in
+  match fs with
+  | [] -> "(empty trace)\n"
+  | _ ->
+    let t0 = Option.value from_s ~default:(List.hd fs).at_s in
+    let t1 =
+      Option.value until_s
+        ~default:
+          (List.fold_left (fun acc f -> Float.max acc (f.at_s +. f.service_s)) t0 fs)
+    in
+    let span = Float.max (t1 -. t0) 1e-12 in
+    let procs = 1 + List.fold_left (fun acc f -> max acc f.proc) 0 fs in
+    let rows = Array.init procs (fun _ -> Bytes.make width '.') in
+    List.iter
+      (fun f ->
+        let c0 =
+          int_of_float (Float.of_int width *. (f.at_s -. t0) /. span)
+        in
+        let c1 =
+          int_of_float
+            (Float.of_int width *. (f.at_s +. f.service_s -. t0) /. span)
+        in
+        for c = max 0 c0 to min (width - 1) (max c0 c1) do
+          Bytes.set rows.(f.proc) c '#'
+        done)
+      fs;
+    let buf = Buffer.create (procs * (width + 12)) in
+    Array.iteri
+      (fun p row ->
+        Buffer.add_string buf (Printf.sprintf "PE%-3d |%s|\n" p (Bytes.to_string row)))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "       %g s .. %g s\n" t0 t1);
+    Buffer.contents buf

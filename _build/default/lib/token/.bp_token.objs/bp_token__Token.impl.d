@@ -1,0 +1,1 @@
+lib/token/token.ml: Bp_util Format String

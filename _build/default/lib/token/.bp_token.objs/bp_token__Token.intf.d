@@ -1,0 +1,1 @@
+lib/token/token.mli: Format

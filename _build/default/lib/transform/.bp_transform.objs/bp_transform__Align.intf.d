@@ -1,0 +1,1 @@
+lib/transform/align.mli: Bp_graph

@@ -1,0 +1,1 @@
+lib/transform/buffering.ml: Bp_analysis Bp_geometry Bp_graph Bp_kernel Bp_kernels Bp_util Err List Size Step Window

@@ -1,0 +1,1 @@
+lib/transform/buffering.mli: Bp_geometry Bp_graph

@@ -1,0 +1,1 @@
+lib/transform/multiplex.ml: Bp_analysis Bp_graph Bp_kernel Bp_machine Hashtbl Int List Parallelize

@@ -1,0 +1,1 @@
+lib/transform/multiplex.mli: Bp_analysis Bp_graph Bp_machine

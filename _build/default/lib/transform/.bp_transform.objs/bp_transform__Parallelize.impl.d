@@ -1,0 +1,1 @@
+lib/transform/parallelize.ml: Array Bp_analysis Bp_geometry Bp_graph Bp_kernel Bp_kernels Bp_machine Bp_util Err Float Hashtbl Int List Option Printf Rate Size

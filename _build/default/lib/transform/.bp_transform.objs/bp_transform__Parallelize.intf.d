@@ -1,0 +1,1 @@
+lib/transform/parallelize.mli: Bp_analysis Bp_graph Bp_machine

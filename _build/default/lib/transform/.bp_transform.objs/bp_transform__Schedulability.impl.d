@@ -1,0 +1,1 @@
+lib/transform/schedulability.ml: Bp_analysis Bp_graph Bp_kernel Bp_machine Float Format List Parallelize

@@ -1,0 +1,1 @@
+lib/transform/schedulability.mli: Bp_graph Bp_machine Format

@@ -1,0 +1,169 @@
+open Bp_util
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Dataflow = Bp_analysis.Dataflow
+module Stream = Bp_analysis.Stream
+
+type policy = Trim | Pad_zero
+
+type repair = {
+  at_node : string;
+  on_port : string;
+  inserted : Graph.node_id;
+  margins : int * int * int * int;
+}
+
+let int_margins (d : Inset.t) =
+  let il, ir, it, ib = Inset.to_int_sides d in
+  (il, ir, it, ib)
+
+let insert_on_channel g (c : Graph.channel) node in_port out_port =
+  Graph.remove_channel g c.Graph.chan_id;
+  Graph.connect g ~capacity:c.Graph.capacity
+    ~from:(c.Graph.src.Graph.node, c.Graph.src.Graph.port)
+    ~into:(node, in_port);
+  Graph.connect g ~capacity:c.Graph.capacity ~from:(node, out_port)
+    ~into:(c.Graph.dst.Graph.node, c.Graph.dst.Graph.port)
+
+(* Trim repair: put an inset kernel directly on the offending input. *)
+let repair_trim g an (mis : Dataflow.misalignment) =
+  let node = Graph.node g mis.Dataflow.mis_node in
+  List.filter_map
+    (fun (port, _iters, inset) ->
+      let diff = Inset.diff ~target:mis.Dataflow.target_inset inset in
+      if Inset.equal diff Inset.zero then None
+      else begin
+        if not (Inset.dominates mis.Dataflow.target_inset inset) then
+          Err.alignf "%s.%s: trim repair needs negative margins" node.Graph.name
+            port;
+        let l, r, t, b = int_margins diff in
+        let c =
+          match Graph.in_channel g mis.Dataflow.mis_node port with
+          | Some c -> c
+          | None -> Err.graphf "%s.%s: not connected" node.Graph.name port
+        in
+        let s = Dataflow.stream_of an c.Graph.chan_id in
+        let grid =
+          match s.Stream.grid with
+          | Some grid -> grid
+          | None ->
+            Err.alignf "%s.%s: cannot trim an interleaved stream"
+              node.Graph.name port
+        in
+        let inset_node =
+          Graph.add g
+            ~meta:(Graph.Inset_meta { left = l; right = r; top = t; bottom = b })
+            (Bp_kernels.Inset_pad.inset ~grid ~left:l ~right:r ~top:t
+               ~bottom:b ())
+        in
+        insert_on_channel g c inset_node "in" "out";
+        Some
+          {
+            at_node = node.Graph.name;
+            on_port = port;
+            inserted = inset_node;
+            margins = (l, r, t, b);
+          }
+      end)
+    mis.Dataflow.mis_inputs
+
+(* Pad repair: walk upstream past buffers to the pixel stream feeding the
+   deeper filter chain and zero-pad it there. *)
+let repair_pad g an (mis : Dataflow.misalignment) =
+  let node = Graph.node g mis.Dataflow.mis_node in
+  (* Pad equalizes toward the *least* inset stream. *)
+  let target =
+    List.fold_left
+      (fun acc (_, _, i) ->
+        {
+          Inset.left = Float.min acc.Inset.left i.Inset.left;
+          right = Float.min acc.Inset.right i.Inset.right;
+          top = Float.min acc.Inset.top i.Inset.top;
+          bottom = Float.min acc.Inset.bottom i.Inset.bottom;
+        })
+      (match mis.Dataflow.mis_inputs with
+      | (_, _, i) :: _ -> i
+      | [] -> Inset.zero)
+      mis.Dataflow.mis_inputs
+  in
+  List.filter_map
+    (fun (port, _iters, inset) ->
+      let diff = Inset.diff ~target:inset target in
+      (* diff = inset - target: how much this stream over-insets. *)
+      if Inset.equal diff Inset.zero then None
+      else begin
+        let l, r, t, b = int_margins diff in
+        (* Walk upstream through the filter chain (single-driving-input
+           kernels and their buffers) to the pixel stream feeding this
+           branch: padding must happen before the filters so their outputs
+           grow, not after them. *)
+        let rec find_pixel_channel (c : Graph.channel) =
+          let src = Graph.node g c.Graph.src.Graph.node in
+          let continue_through input =
+            match Graph.in_channel g src.Graph.id input with
+            | Some up -> find_pixel_channel up
+            | None -> c
+          in
+          match src.Graph.spec.Spec.role with
+          | Spec.Buffer | Spec.Inset | Spec.Pad -> continue_through "in"
+          | Spec.Compute -> (
+            (* Follow a unique non-constant driving input. *)
+            let driving =
+              List.filter
+                (fun (up : Graph.channel) ->
+                  let s = Dataflow.stream_of an up.Graph.chan_id in
+                  not s.Stream.constant)
+                (Graph.in_channels g src.Graph.id)
+            in
+            match driving with [ up ] -> find_pixel_channel up | _ -> c)
+          | Spec.Source | Spec.Const_source | Spec.Sink | Spec.Split
+          | Spec.Join | Spec.Replicate ->
+            c
+        in
+        let c0 =
+          match Graph.in_channel g mis.Dataflow.mis_node port with
+          | Some c -> c
+          | None -> Err.graphf "%s.%s: not connected" node.Graph.name port
+        in
+        let c = find_pixel_channel c0 in
+        let s = Dataflow.stream_of an c.Graph.chan_id in
+        if not (Size.equal s.Stream.chunk Size.one) then
+          Err.alignf "%s.%s: pad repair needs a pixel stream upstream"
+            node.Graph.name port;
+        let pad_node =
+          Graph.add g
+            ~meta:(Graph.Pad_meta { left = l; right = r; top = t; bottom = b })
+            (Bp_kernels.Inset_pad.pad ~frame:s.Stream.extent ~left:l ~right:r
+               ~top:t ~bottom:b ())
+        in
+        insert_on_channel g c pad_node "in" "out";
+        Some
+          {
+            at_node = node.Graph.name;
+            on_port = port;
+            inserted = pad_node;
+            margins = (l, r, t, b);
+          }
+      end)
+    mis.Dataflow.mis_inputs
+
+let run ?(policy = Trim) g =
+  let rec fix rounds acc =
+    if rounds > 8 then
+      Err.alignf "alignment did not converge after 8 rounds";
+    let an = Dataflow.analyze g in
+    match Dataflow.misalignments an with
+    | [] -> List.rev acc
+    | mis :: _ ->
+      let repairs =
+        match policy with
+        | Trim -> repair_trim g an mis
+        | Pad_zero -> repair_pad g an mis
+      in
+      if repairs = [] then
+        Err.alignf "misalignment at %s produced no repair"
+          (Graph.node g mis.Dataflow.mis_node).Graph.name;
+      fix (rounds + 1) (List.rev_append repairs acc)
+  in
+  fix 0 []

@@ -1,0 +1,27 @@
+(** Automatic trimming and padding (Section III-C, Figures 3 and 8).
+
+    Multi-input kernels whose inputs carry different insets from the shared
+    application input are repaired either by trimming the larger stream
+    (inserting inset kernels, the default shown in Figure 3) or by
+    zero-padding the input of the deeper filter chain so its output grows.
+    The paper leaves the Trim/Pad choice to the programmer because it
+    changes the numeric result; the mechanics are automatic. *)
+
+type policy =
+  | Trim  (** Discard rows/columns of the less-inset streams. *)
+  | Pad_zero
+      (** Zero-pad upstream of the more-inset streams so their extents
+          grow back. *)
+
+type repair = {
+  at_node : string;  (** The misaligned kernel's instance name. *)
+  on_port : string;
+  inserted : Bp_graph.Graph.node_id;
+  margins : int * int * int * int;  (** left, right, top, bottom *)
+}
+
+val run : ?policy:policy -> Bp_graph.Graph.t -> repair list
+(** Repairs every misalignment, re-running the dataflow between passes
+    until it reports none (bounded; fails with
+    {!Bp_util.Err.Alignment_error} if the graph does not converge or a
+    repair would need fractional margins). Mutates the graph in place. *)

@@ -1,0 +1,53 @@
+open Bp_util
+open Bp_geometry
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Port = Bp_kernel.Port
+module Dataflow = Bp_analysis.Dataflow
+module Stream = Bp_analysis.Stream
+module Buffer = Bp_kernels.Buffer
+
+type inserted = {
+  buffer_node : Graph.node_id;
+  between : string * string;
+  storage : Size.t;
+}
+
+let non_overlapping (w : Window.t) =
+  w.Window.step.Step.sx >= w.Window.size.Size.w
+  && w.Window.step.Step.sy >= w.Window.size.Size.h
+
+let run g =
+  let an = Dataflow.analyze g in
+  let work =
+    List.filter (fun c -> Dataflow.needs_buffer an c) (Graph.channels g)
+  in
+  List.map
+    (fun (c : Graph.channel) ->
+      let s = Dataflow.stream_of an c.Graph.chan_id in
+      let src = Graph.node g c.Graph.src.Graph.node in
+      let dst = Graph.node g c.Graph.dst.Graph.node in
+      let sport = Spec.find_output src.Graph.spec c.Graph.src.Graph.port in
+      let dport = Spec.find_input dst.Graph.spec c.Graph.dst.Graph.port in
+      if not (non_overlapping sport.Port.window) then
+        Err.unsupportedf
+          "cannot buffer %s -> %s: producer emits overlapped windows"
+          src.Graph.name dst.Graph.name;
+      let cfg =
+        Buffer.config ~in_block:s.Stream.chunk
+          ~out_window:dport.Port.window ~frame:s.Stream.extent ()
+      in
+      let storage = Buffer.storage cfg in
+      let buf =
+        Graph.add g
+          ~meta:(Graph.Buffer_meta { storage })
+          (Buffer.spec cfg)
+      in
+      Graph.remove_channel g c.Graph.chan_id;
+      Graph.connect g ~capacity:c.Graph.capacity
+        ~from:(c.Graph.src.Graph.node, c.Graph.src.Graph.port)
+        ~into:(buf, "in");
+      Graph.connect g ~capacity:c.Graph.capacity ~from:(buf, "out")
+        ~into:(c.Graph.dst.Graph.node, c.Graph.dst.Graph.port);
+      { buffer_node = buf; between = (src.Graph.name, dst.Graph.name); storage })
+    work

@@ -1,0 +1,18 @@
+(** Automatic buffer insertion (Section III-B, Figure 3).
+
+    Wherever a channel's producer chunk shape cannot satisfy the consumer's
+    window (a pixel stream feeding a 5×5 sliding window; a pixel stream
+    feeding a downsampling step), a parameterized buffer kernel is inserted
+    and sized by the double-buffering rule. *)
+
+type inserted = {
+  buffer_node : Bp_graph.Graph.node_id;
+  between : string * string;  (** Producer and consumer instance names. *)
+  storage : Bp_geometry.Size.t;
+}
+
+val run : Bp_graph.Graph.t -> inserted list
+(** Mutates the graph in place; returns a description of every buffer
+    added. Fails with {!Bp_util.Err.Unsupported} when a producer emits
+    overlapped windows that the consumer cannot take one-for-one (re-windowing
+    an overlapped stream is outside the model). *)

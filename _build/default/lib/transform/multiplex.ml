@@ -1,0 +1,123 @@
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Machine = Bp_machine.Machine
+module Dataflow = Bp_analysis.Dataflow
+
+type group_stats = {
+  members : string list;
+  predicted_utilization : float;
+  memory_words : int;
+}
+
+let utilization_of an machine id =
+  Parallelize.required_cycles_per_s an machine id
+  /. machine.Machine.pe.Machine.freq_hz
+
+let on_chip g =
+  List.filter
+    (fun (n : Graph.node) ->
+      match n.Graph.spec.Spec.role with
+      | Spec.Source | Spec.Const_source | Spec.Sink -> false
+      | _ -> true)
+    (Graph.nodes g)
+
+let one_to_one g = List.map (fun (n : Graph.node) -> [ n.Graph.id ]) (on_chip g)
+
+(* An initial input buffer: a buffer whose data reaches it from a source
+   through nothing but split/replicate plumbing. *)
+let protected_input_buffer g id =
+  let n = Graph.node g id in
+  match n.Graph.spec.Spec.role with
+  | Spec.Buffer ->
+    let rec from_source id =
+      List.exists
+        (fun pred ->
+          let p = Graph.node g pred in
+          match p.Graph.spec.Spec.role with
+          | Spec.Source -> true
+          | Spec.Split | Spec.Replicate | Spec.Pad -> from_source pred
+          | _ -> false)
+        (Graph.predecessors g id)
+    in
+    from_source id
+  | _ -> false
+
+let greedy machine g =
+  let an = Dataflow.analyze g in
+  let pe = machine.Machine.pe in
+  let cap =
+    machine.Machine.target_utilization *. machine.Machine.multiplex_headroom
+  in
+  let util id = utilization_of an machine id in
+  let mem id = Spec.memory_words (Graph.node g id).Graph.spec in
+  (* group id -> members (rev), total util, total memory *)
+  let groups : (int, Graph.node_id list * float * int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let group_of : (Graph.node_id, int) Hashtbl.t = Hashtbl.create 32 in
+  let protected_groups : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let next_group = ref 0 in
+  let new_group ?(protect = false) id =
+    let gid = !next_group in
+    incr next_group;
+    Hashtbl.replace groups gid ([ id ], util id, mem id);
+    Hashtbl.replace group_of id gid;
+    if protect then Hashtbl.replace protected_groups gid ()
+  in
+  let try_merge id gid =
+    let members, u, m = Hashtbl.find groups gid in
+    let u' = u +. util id and m' = m + mem id in
+    if u' <= cap && m' <= pe.Machine.mem_words then begin
+      Hashtbl.replace groups gid (id :: members, u', m');
+      Hashtbl.replace group_of id gid;
+      true
+    end
+    else false
+  in
+  let order = Graph.topological_order g in
+  List.iter
+    (fun (n : Graph.node) ->
+      match n.Graph.spec.Spec.role with
+      | Spec.Source | Spec.Const_source | Spec.Sink -> ()
+      | _ ->
+        let id = n.Graph.id in
+        if protected_input_buffer g id then new_group ~protect:true id
+        else begin
+          let neighbour_groups =
+            List.sort_uniq Int.compare
+              (List.filter_map
+                 (fun nb ->
+                   match Hashtbl.find_opt group_of nb with
+                   | Some gid when not (Hashtbl.mem protected_groups gid) ->
+                     Some gid
+                   | _ -> None)
+                 (Graph.predecessors g id @ Graph.successors g id))
+          in
+          let merged =
+            List.exists (fun gid -> try_merge id gid) neighbour_groups
+          in
+          if not merged then new_group id
+        end)
+    order;
+  Hashtbl.fold (fun gid (members, _, _) acc -> (gid, List.rev members) :: acc)
+    groups []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
+
+let stats machine g groups =
+  let an = Dataflow.analyze g in
+  List.map
+    (fun ids ->
+      {
+        members = List.map (fun id -> (Graph.node g id).Graph.name) ids;
+        predicted_utilization =
+          List.fold_left
+            (fun acc id -> acc +. utilization_of an machine id)
+            0. ids;
+        memory_words =
+          List.fold_left
+            (fun acc id ->
+              acc + Spec.memory_words (Graph.node g id).Graph.spec)
+            0 ids;
+      })
+    groups

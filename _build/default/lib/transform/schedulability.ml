@@ -1,0 +1,66 @@
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Machine = Bp_machine.Machine
+module Dataflow = Bp_analysis.Dataflow
+
+type node_report = {
+  node : Graph.node_id;
+  name : string;
+  required_cycles_per_s : float;
+  utilization : float;
+  schedulable : bool;
+}
+
+type t = {
+  nodes : node_report list;
+  bottleneck : node_report option;
+  schedulable : bool;
+  predicted_pe_count : int;
+}
+
+let on_chip (n : Graph.node) =
+  match n.Graph.spec.Spec.role with
+  | Spec.Source | Spec.Const_source | Spec.Sink -> false
+  | _ -> true
+
+let check machine g =
+  let an = Dataflow.analyze g in
+  let nodes =
+    List.filter_map
+      (fun (n : Graph.node) ->
+        if not (on_chip n) then None
+        else
+          let required =
+            Parallelize.required_cycles_per_s an machine n.Graph.id
+          in
+          let utilization = required /. machine.Machine.pe.Machine.freq_hz in
+          Some
+            {
+              node = n.Graph.id;
+              name = n.Graph.name;
+              required_cycles_per_s = required;
+              utilization;
+              schedulable = utilization <= machine.Machine.target_utilization;
+            })
+      (Graph.nodes g)
+  in
+  let nodes =
+    List.sort (fun a b -> Float.compare b.utilization a.utilization) nodes
+  in
+  {
+    nodes;
+    bottleneck = (match nodes with [] -> None | n :: _ -> Some n);
+    schedulable =
+      List.for_all (fun (n : node_report) -> n.schedulable) nodes;
+    predicted_pe_count = List.length nodes;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "schedulable: %b (%d PEs at 1:1)@,"
+    t.schedulable t.predicted_pe_count;
+  List.iter
+    (fun n ->
+      Format.fprintf ppf "  %-32s %6.1f%%%s@," n.name
+        (100. *. n.utilization)
+        (if n.schedulable then "" else "  OVERLOADED"))
+    t.nodes

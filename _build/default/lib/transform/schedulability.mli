@@ -1,0 +1,34 @@
+(** Static schedulability checking.
+
+    The paper's guarantee is *a priori*: the compiler must be able to argue,
+    before running anything, that the parallelized program keeps up with its
+    inputs. This module performs that argument for an elaborated graph: for
+    every on-chip node it compares the steady-state cycles per second it
+    needs (compute plus channel words, from the dataflow analysis) against
+    what one processing element provides, and reports per-node margins and
+    the overall bottleneck. The simulator then confirms the prediction
+    dynamically; tests assert the two agree. *)
+
+type node_report = {
+  node : Bp_graph.Graph.node_id;
+  name : string;
+  required_cycles_per_s : float;
+  utilization : float;  (** Against the full PE frequency. *)
+  schedulable : bool;
+      (** Utilization within the machine's target (with multiplexing
+          headroom NOT applied — this is the per-node, own-PE bound). *)
+}
+
+type t = {
+  nodes : node_report list;  (** Worst utilization first. *)
+  bottleneck : node_report option;  (** The busiest node. *)
+  schedulable : bool;  (** Every node individually schedulable. *)
+  predicted_pe_count : int;  (** On-chip nodes = PEs under a 1:1 mapping. *)
+}
+
+val check : Bp_machine.Machine.t -> Bp_graph.Graph.t -> t
+(** Analyze and check. The graph should already be elaborated (buffers
+    inserted, kernels parallelized); on a raw graph the report shows which
+    kernels *will need* parallelization instead. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t =
+  | Invalid_parameterization of string
+  | Graph_malformed of string
+  | Rate_mismatch of string
+  | Alignment_error of string
+  | Resource_exhausted of string
+  | Not_schedulable of string
+  | Unsupported of string
+
+exception Error of t
+
+let fail e = raise (Error e)
+let kfail wrap fmt = Format.kasprintf (fun s -> fail (wrap s)) fmt
+let invalidf fmt = kfail (fun s -> Invalid_parameterization s) fmt
+let graphf fmt = kfail (fun s -> Graph_malformed s) fmt
+let ratef fmt = kfail (fun s -> Rate_mismatch s) fmt
+let alignf fmt = kfail (fun s -> Alignment_error s) fmt
+let resourcef fmt = kfail (fun s -> Resource_exhausted s) fmt
+let schedulef fmt = kfail (fun s -> Not_schedulable s) fmt
+let unsupportedf fmt = kfail (fun s -> Unsupported s) fmt
+
+let to_string = function
+  | Invalid_parameterization s -> "invalid parameterization: " ^ s
+  | Graph_malformed s -> "malformed graph: " ^ s
+  | Rate_mismatch s -> "rate mismatch: " ^ s
+  | Alignment_error s -> "alignment error: " ^ s
+  | Resource_exhausted s -> "resource exhausted: " ^ s
+  | Not_schedulable s -> "not schedulable: " ^ s
+  | Unsupported s -> "unsupported: " ^ s
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let guard f = match f () with v -> Ok v | exception Error e -> Error e

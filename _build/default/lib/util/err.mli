@@ -1,0 +1,65 @@
+(** Structured compiler errors.
+
+    Every analysis and transformation reports failures through [error] rather
+    than bare strings, so that tests can match on the failure class and the
+    CLI can render a uniform message. *)
+
+type t =
+  | Invalid_parameterization of string
+      (** A port size/step/offset is malformed (zero or negative extents,
+          step larger than permitted, ...). *)
+  | Graph_malformed of string
+      (** The application graph violates a structural invariant
+          (dangling edge, duplicate port connection, missing source, ...). *)
+  | Rate_mismatch of string
+      (** Two inputs of a kernel disagree on iteration count or rate and the
+          disagreement cannot be fixed by trimming/padding. *)
+  | Alignment_error of string
+      (** Inset propagation detected data misalignment that the selected
+          policy refuses to repair automatically. *)
+  | Resource_exhausted of string
+      (** A kernel cannot fit on any processing element even at maximum
+          parallelization. *)
+  | Not_schedulable of string
+      (** The simulator or a schedulability check proved the real-time
+          constraint cannot be met. *)
+  | Unsupported of string
+      (** A feature combination the compiler does not handle. *)
+
+exception Error of t
+(** Raised by [fail] and by analyses that cannot return a [result]. *)
+
+val fail : t -> 'a
+(** [fail e] raises {!Error}[ e]. *)
+
+val invalidf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [invalidf fmt ...] fails with {!Invalid_parameterization}. *)
+
+val graphf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [graphf fmt ...] fails with {!Graph_malformed}. *)
+
+val ratef : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [ratef fmt ...] fails with {!Rate_mismatch}. *)
+
+val alignf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [alignf fmt ...] fails with {!Alignment_error}. *)
+
+val resourcef : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [resourcef fmt ...] fails with {!Resource_exhausted}. *)
+
+val schedulef : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [schedulef fmt ...] fails with {!Not_schedulable}. *)
+
+val unsupportedf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [unsupportedf fmt ...] fails with {!Unsupported}. *)
+
+val to_string : t -> string
+(** [to_string e] renders [e] with its class prefix, e.g.
+    ["rate mismatch: ..."] . *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer for errors. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** [guard f] runs [f ()], catching {!Error} into [Error _]. Other
+    exceptions propagate. *)

@@ -1,0 +1,11 @@
+type gen = { mutable next : int }
+
+let make_gen () = { next = 0 }
+
+let fresh g =
+  let n = g.next in
+  g.next <- n + 1;
+  n
+
+let peek g = g.next
+let reserve g n = if g.next < n then g.next <- n

@@ -1,0 +1,22 @@
+(** Fresh integer identifiers.
+
+    Every structural object in the compiler (graph nodes, edges, processors,
+    simulation events) carries a small integer identity. Generators are
+    explicit values so that independent graphs or simulations never share a
+    counter, keeping runs deterministic and tests isolated. *)
+
+type gen
+(** A mutable identifier generator. *)
+
+val make_gen : unit -> gen
+(** [make_gen ()] is a fresh generator whose first identifier is [0]. *)
+
+val fresh : gen -> int
+(** [fresh g] returns the next identifier and advances [g]. *)
+
+val peek : gen -> int
+(** [peek g] is the identifier that the next [fresh g] will return. *)
+
+val reserve : gen -> int -> unit
+(** [reserve g n] advances [g] so that all future identifiers are [>= n].
+    Used when grafting nodes from one graph into another. *)

@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s =
+    if seed = 0 then 0x9E3779B97F4A7C15L else Int64.of_int seed
+  in
+  { state = s }
+
+(* xorshift64* step: shift-xor scramble followed by an odd multiply. *)
+let next t =
+  let s = t.state in
+  let s = Int64.logxor s (Int64.shift_right_logical s 12) in
+  let s = Int64.logxor s (Int64.shift_left s 25) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 27) in
+  t.state <- s;
+  Int64.mul s 0x2545F4914F6CDD1DL
+
+let split t =
+  let s = next t in
+  { state = (if Int64.equal s 0L then 1L else s) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.compare (Int64.logand (next t) 1L) 0L <> 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers.
+
+    The simulator, the annealing placer and the synthetic image generators
+    all need reproducible randomness that does not depend on global state.
+    This is a splittable xorshift64* generator; identical seeds always yield
+    identical streams on every platform. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator. [seed = 0] is remapped internally so the
+    stream is never degenerate. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

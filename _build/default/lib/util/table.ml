@@ -1,0 +1,65 @@
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: more cells than headers";
+  let cells = if k < n then cells @ List.init (n - k) (fun _ -> "") else cells in
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let is_numeric s =
+  s <> ""
+  &&
+  match float_of_string_opt (String.concat "" (String.split_on_char '%' s)) with
+  | Some _ -> true
+  | None -> (
+    (* allow suffixed values such as "1.5x" or "96x96" to stay left-aligned *)
+    match float_of_string_opt s with Some _ -> true | None -> false)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cells =
+    t.headers :: List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let width i =
+    List.fold_left
+      (fun acc cells -> max acc (String.length (List.nth cells i)))
+      0 all_cells
+  in
+  let widths = List.init ncols width in
+  let pad w s numeric =
+    let fill = String.make (w - String.length s) ' ' in
+    if numeric then fill ^ s else s ^ fill
+  in
+  let render_cells cells =
+    let parts =
+      List.map2 (fun w s -> pad w s (is_numeric s)) widths cells
+    in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let body =
+    List.map (function Cells c -> render_cells c | Rule -> rule) rows
+  in
+  let lines =
+    (if t.title = "" then [] else [ t.title ])
+    @ [ rule; render_cells t.headers; rule ]
+    @ body @ [ rule ]
+  in
+  String.concat "\n" lines ^ "\n"
+
+let print t = print_string (render t)

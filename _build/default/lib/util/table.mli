@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment reports.
+
+    Every figure/table reproduction prints through this module so the bench
+    and CLI output share one look. Columns are auto-sized; numeric cells are
+    right-aligned when they parse as numbers. *)
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends one row. Rows shorter than the header are
+    padded with empty cells; longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** [add_rule t] appends a horizontal separator row. *)
+
+val render : t -> string
+(** [render t] is the full table as a string, trailing newline included. *)
+
+val print : t -> unit
+(** [print t] renders to stdout. *)

@@ -1,0 +1,1 @@
+lib/viz/dot.ml: Bp_geometry Bp_graph Bp_kernel Bp_util Fun Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/viz/dot.mli: Bp_graph

@@ -1,0 +1,85 @@
+module Graph = Bp_graph.Graph
+module Spec = Bp_kernel.Spec
+module Port = Bp_kernel.Port
+
+let shape_of (n : Graph.node) =
+  match n.Graph.spec.Spec.role with
+  | Spec.Source | Spec.Const_source -> "oval"
+  | Spec.Sink -> "oval"
+  | Spec.Compute -> "box"
+  | Spec.Buffer -> "parallelogram"
+  | Spec.Split | Spec.Join -> "diamond"
+  | Spec.Inset -> "invhouse"
+  | Spec.Pad -> "house"
+  | Spec.Replicate -> "hexagon"
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let node_label (n : Graph.node) =
+  match n.Graph.meta with
+  | Graph.Buffer_meta { storage } ->
+    Printf.sprintf "%s\\n[%dx%d]" n.Graph.name storage.Bp_geometry.Size.w
+      storage.Bp_geometry.Size.h
+  | _ -> n.Graph.name
+
+let replicated_edge g (c : Graph.channel) =
+  (* A channel is drawn dashed when it feeds a replicated input or carries
+     configuration data from a constant source / replicate kernel. *)
+  let dst = Graph.node g c.Graph.dst.Graph.node in
+  let src = Graph.node g c.Graph.src.Graph.node in
+  (match Bp_util.Err.guard (fun () ->
+       Spec.find_input dst.Graph.spec c.Graph.dst.Graph.port)
+   with
+  | Ok p -> p.Port.replicated
+  | Error _ -> false)
+  ||
+  match src.Graph.spec.Spec.role with
+  | Spec.Const_source | Spec.Replicate -> true
+  | _ -> false
+
+let to_dot ?(title = "application") ?(groups = []) g =
+  let buf = Stdlib.Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Stdlib.Buffer.add_string buf) fmt in
+  addf "digraph \"%s\" {\n" (escape title);
+  addf "  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=8];\n";
+  let grouped = Hashtbl.create 16 in
+  List.iteri
+    (fun i ids ->
+      addf "  subgraph cluster_%d {\n    label=\"PE%d\";\n    style=rounded;\n"
+        i i;
+      List.iter
+        (fun id ->
+          Hashtbl.replace grouped id ();
+          let n = Graph.node g id in
+          addf "    n%d [label=\"%s\", shape=%s];\n" id
+            (escape (node_label n))
+            (shape_of n))
+        ids;
+      addf "  }\n")
+    groups;
+  List.iter
+    (fun (n : Graph.node) ->
+      if not (Hashtbl.mem grouped n.Graph.id) then
+        addf "  n%d [label=\"%s\", shape=%s];\n" n.Graph.id
+          (escape (node_label n))
+          (shape_of n))
+    (Graph.nodes g);
+  List.iter
+    (fun (c : Graph.channel) ->
+      let style = if replicated_edge g c then " [style=dashed]" else "" in
+      addf "  n%d -> n%d%s;\n" c.Graph.src.Graph.node c.Graph.dst.Graph.node
+        style)
+    (Graph.channels g);
+  List.iter
+    (fun (d : Graph.dep) ->
+      addf "  n%d -> n%d [style=dotted, color=red, constraint=false];\n"
+        d.Graph.dep_src d.Graph.dep_dst)
+    (Graph.deps g);
+  addf "}\n";
+  Stdlib.Buffer.contents buf
+
+let write_file ~path source =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc source)

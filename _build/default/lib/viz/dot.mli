@@ -1,0 +1,18 @@
+(** Graphviz export of application graphs.
+
+    Renders the paper's visual conventions: parallelograms for buffers,
+    diamonds for split/join FSMs, inverted houses for inset kernels, dashed
+    edges for replicated (configuration) streams, and dotted red edges for
+    data-dependency edges. *)
+
+val to_dot :
+  ?title:string ->
+  ?groups:Bp_graph.Graph.node_id list list ->
+  Bp_graph.Graph.t ->
+  string
+(** [to_dot g] is the Graphviz source. When [groups] is given (a
+    kernel-to-processor mapping), each group is drawn as a cluster —
+    Figure 12's boxes. *)
+
+val write_file : path:string -> string -> unit
+(** Write rendered DOT source to a file. *)

@@ -1,0 +1,1 @@
+test/harness.ml: Alcotest App Behaviour Block_parallel Err Hashtbl Image Inset Item Kernel List Machine Option Pipeline Port QCheck2 QCheck_alcotest Queue Sim Size String Token

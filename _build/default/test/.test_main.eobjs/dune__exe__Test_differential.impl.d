@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Arith Block_parallel Conv Decimate Graph Harness Image Image_ops List Machine Median Pipeline Printf QCheck2 Rate Sim Sink Size Source String Upsample Window

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest App Apps Array Block_parallel Energy Err Float Harness List Machine Mapping Pipeline Placement Printf Rate Rate_search Schedulability Sim Size Trace

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Block_parallel Conv Err Harness Inset Offset QCheck2 Rate Reuse Size Step Window

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Arith Block_parallel Err Format Graph Harness Image List Rate Sink Size Source Window

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Array Block_parallel Float Harness Image Image_ops List Prng QCheck2 Size

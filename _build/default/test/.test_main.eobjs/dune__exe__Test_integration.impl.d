@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Align App Apps Array Block_parallel Bp_report Dot Filename Format Harness Image Inset List Machine Multiplex Pipeline Printf Rate Reuse Sink Size Sys

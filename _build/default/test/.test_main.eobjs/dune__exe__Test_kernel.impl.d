@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Arith Behaviour Block_parallel Conv Costs Err Harness Histogram Image Item Kernel List Method_spec Port Size Token Window

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Block_parallel Err Graph Harness Image Image_ops Lang List Machine Pipeline Printf Rate Sim Sink Size

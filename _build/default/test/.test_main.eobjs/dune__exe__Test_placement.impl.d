@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest App Apps Block_parallel Float List Machine Mapping Pipeline Placement Printf Rate Size

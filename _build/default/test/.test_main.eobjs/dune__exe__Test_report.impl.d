@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest App Apps Block_parallel Bp_report Format Harness List Machine Pipeline Rate Schedulability Size Stdlib

@@ -1,0 +1,1 @@
+test/test_sweeps.ml: Alcotest Apps Block_parallel Conv Decimate Graph Harness Image Image_ops List Machine Median Pipeline Printf Rate Sim Sink Size Source Window

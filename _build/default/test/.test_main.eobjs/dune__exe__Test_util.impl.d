@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Block_parallel Bp_util Err Fun Harness Id List Prng QCheck2 String Table

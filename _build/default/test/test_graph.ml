@@ -1,0 +1,176 @@
+(* Tests for the application graph: construction, structural validation,
+   traversal, and rewriting primitives. *)
+
+open Block_parallel
+open Harness
+
+let mini_graph () =
+  let g = Graph.create () in
+  let frame = Size.v 6 5 in
+  let rate = Rate.hz 10. in
+  let src =
+    Graph.add g
+      ~meta:(Graph.Source_meta { frame; rate })
+      (Source.spec ~frame ~frames:[ Image.Gen.ramp frame ] ())
+  in
+  let fwd = Graph.add g (Arith.forward ()) in
+  let c = Sink.collector () in
+  let sink = Graph.add g (Sink.spec ~window:Window.pixel c ()) in
+  Graph.connect g ~from:(src, "out") ~into:(fwd, "in");
+  Graph.connect g ~from:(fwd, "out") ~into:(sink, "in");
+  (g, src, fwd, sink)
+
+let test_add_names () =
+  let g = Graph.create () in
+  let a = Graph.add g (Arith.forward ()) in
+  let b = Graph.add g (Arith.forward ()) in
+  Alcotest.(check string) "first uses class name" "Forward"
+    (Graph.node g a).Graph.name;
+  Alcotest.(check string) "second uniquified" "Forward_0"
+    (Graph.node g b).Graph.name;
+  expect_error (Err.Graph_malformed "") (fun () ->
+      ignore (Graph.add g ~name:"Forward" (Arith.forward ())))
+
+let test_connect_validation () =
+  let g = Graph.create () in
+  let a = Graph.add g (Arith.forward ()) in
+  let b = Graph.add g (Arith.forward ()) in
+  expect_error (Err.Graph_malformed "") (fun () ->
+      Graph.connect g ~from:(a, "nope") ~into:(b, "in"));
+  expect_error (Err.Graph_malformed "") (fun () ->
+      Graph.connect g ~from:(a, "out") ~into:(b, "nope"));
+  Graph.connect g ~from:(a, "out") ~into:(b, "in");
+  expect_error (Err.Graph_malformed "") (fun () ->
+      Graph.connect g ~from:(a, "out") ~into:(b, "in"));
+  expect_error (Err.Graph_malformed "") (fun () ->
+      Graph.connect g ~capacity:1 ~from:(b, "out") ~into:(a, "in"))
+
+let test_validate_unconnected_input () =
+  let g = Graph.create () in
+  ignore (Graph.add g (Arith.forward ()));
+  expect_error (Err.Graph_malformed "") (fun () -> Graph.validate g)
+
+let test_validate_cycle_rejected () =
+  let g = Graph.create () in
+  let a = Graph.add g (Arith.forward ()) in
+  let b = Graph.add g (Arith.forward ()) in
+  Graph.connect g ~from:(a, "out") ~into:(b, "in");
+  Graph.connect g ~from:(b, "out") ~into:(a, "in");
+  expect_error (Err.Graph_malformed "") (fun () -> Graph.validate g)
+
+let test_cycle_allowed_when_opted_in () =
+  let g = Graph.create ~allow_cycles:true () in
+  let a = Graph.add g (Arith.forward ()) in
+  let b = Graph.add g (Arith.forward ()) in
+  Graph.connect g ~from:(a, "out") ~into:(b, "in");
+  Graph.connect g ~from:(b, "out") ~into:(a, "in");
+  Graph.validate g;
+  Alcotest.(check int) "all nodes in order" 2
+    (List.length (Graph.topological_order g))
+
+let test_fanout () =
+  let g = Graph.create () in
+  let a = Graph.add g (Arith.forward ()) in
+  let b = Graph.add g (Arith.forward ()) in
+  let c = Graph.add g (Arith.forward ()) in
+  Graph.connect g ~from:(a, "out") ~into:(b, "in");
+  Graph.connect g ~from:(a, "out") ~into:(c, "in");
+  Alcotest.(check int) "two out channels" 2
+    (List.length (Graph.out_channels g a ~port:"out" ()));
+  Alcotest.(check (list int)) "successors" [ b; c ] (Graph.successors g a)
+
+let test_topological_order () =
+  let g, src, fwd, sink = mini_graph () in
+  let order = List.map (fun n -> n.Graph.id) (Graph.topological_order g) in
+  Alcotest.(check (list int)) "pipeline order" [ src; fwd; sink ] order
+
+let test_remove_node () =
+  let g, _src, fwd, _sink = mini_graph () in
+  Graph.remove_node g fwd;
+  Alcotest.(check int) "channels dropped" 0 (List.length (Graph.channels g));
+  expect_error (Err.Graph_malformed "") (fun () -> ignore (Graph.node g fwd))
+
+let test_deps () =
+  let g, src, fwd, _sink = mini_graph () in
+  Graph.add_dep g ~src ~dst:fwd;
+  Alcotest.(check (list int)) "dep sources" [ src ] (Graph.dep_sources g fwd);
+  Graph.remove_node g src;
+  Alcotest.(check (list Alcotest.int)) "deps dropped with node" []
+    (Graph.dep_sources g fwd)
+
+let test_copy_preserves_ids () =
+  let g, src, fwd, sink = mini_graph () in
+  let g2 = Graph.copy g in
+  Graph.remove_node g fwd;
+  (* the copy is unaffected *)
+  Alcotest.(check int) "copy intact" 3 (Graph.size g2);
+  Alcotest.(check (list int)) "same ids"
+    [ src; fwd; sink ]
+    (List.map (fun n -> n.Graph.id) (Graph.topological_order g2));
+  (* fresh ids in the copy do not collide *)
+  let fresh = Graph.add g2 (Arith.forward ()) in
+  Alcotest.(check bool) "fresh id beyond" true (fresh > sink)
+
+let test_lookup_by_name () =
+  let g, _, fwd, _ = mini_graph () in
+  Alcotest.(check int) "by name" fwd (Graph.node_by_name g "Forward").Graph.id;
+  expect_error (Err.Graph_malformed "") (fun () ->
+      ignore (Graph.node_by_name g "nope"))
+
+let test_sources_sinks () =
+  let g, src, _, sink = mini_graph () in
+  Alcotest.(check (list int)) "sources" [ src ]
+    (List.map (fun n -> n.Graph.id) (Graph.sources g));
+  Alcotest.(check (list int)) "sinks" [ sink ]
+    (List.map (fun n -> n.Graph.id) (Graph.sinks g))
+
+let test_in_channel_lookup () =
+  let g, src, fwd, _ = mini_graph () in
+  (match Graph.in_channel g fwd "in" with
+  | Some c -> Alcotest.(check int) "producer" src c.Graph.src.Graph.node
+  | None -> Alcotest.fail "expected channel");
+  Alcotest.(check bool) "missing port" true (Graph.in_channel g src "in" = None)
+
+let test_source_sink_role_checks () =
+  let g = Graph.create () in
+  let frame = Size.v 2 2 in
+  (* A sink with outputs is impossible to build through the library, so
+     validate catches a source wired as a consumer instead. *)
+  let src =
+    Graph.add g
+      ~meta:(Graph.Source_meta { frame; rate = Rate.hz 1. })
+      (Source.spec ~frame ~frames:[] ())
+  in
+  let c = Sink.collector () in
+  let sink = Graph.add g (Sink.spec ~window:Window.pixel c ()) in
+  Graph.connect g ~from:(src, "out") ~into:(sink, "in");
+  Graph.validate g
+
+let test_pp_summary () =
+  let g, _, _, _ = mini_graph () in
+  let s = Format.asprintf "%a" Graph.pp_summary g in
+  Alcotest.(check bool) "mentions nodes" true (contains s "Forward")
+
+let suite =
+  [
+    Alcotest.test_case "graph: names" `Quick test_add_names;
+    Alcotest.test_case "graph: connect validation" `Quick
+      test_connect_validation;
+    Alcotest.test_case "graph: unconnected input" `Quick
+      test_validate_unconnected_input;
+    Alcotest.test_case "graph: cycle rejected" `Quick
+      test_validate_cycle_rejected;
+    Alcotest.test_case "graph: cycle opt-in" `Quick
+      test_cycle_allowed_when_opted_in;
+    Alcotest.test_case "graph: fanout" `Quick test_fanout;
+    Alcotest.test_case "graph: topological order" `Quick test_topological_order;
+    Alcotest.test_case "graph: remove node" `Quick test_remove_node;
+    Alcotest.test_case "graph: dependency edges" `Quick test_deps;
+    Alcotest.test_case "graph: copy" `Quick test_copy_preserves_ids;
+    Alcotest.test_case "graph: lookup by name" `Quick test_lookup_by_name;
+    Alcotest.test_case "graph: sources/sinks" `Quick test_sources_sinks;
+    Alcotest.test_case "graph: in_channel" `Quick test_in_channel_lookup;
+    Alcotest.test_case "graph: role validation" `Quick
+      test_source_sink_role_checks;
+    Alcotest.test_case "graph: summary" `Quick test_pp_summary;
+  ]

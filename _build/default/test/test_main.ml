@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "block-parallel"
+    [
+      ("util", Test_util.suite);
+      ("geometry", Test_geometry.suite);
+      ("image", Test_image.suite);
+      ("kernel", Test_kernel.suite);
+      ("kernels", Test_kernels.suite);
+      ("graph", Test_graph.suite);
+      ("analysis", Test_analysis.suite);
+      ("transform", Test_transform.suite);
+      ("sim", Test_sim.suite);
+      ("placement", Test_placement.suite);
+      ("lang", Test_lang.suite);
+      ("extensions", Test_extensions.suite);
+      ("coverage", Test_coverage.suite);
+      ("differential", Test_differential.suite);
+      ("sweeps", Test_sweeps.suite);
+      ("report", Test_report.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,88 @@
+(* Tests for the report harness's rendered output: the tables must carry
+   the key artifacts a reader checks against the paper. *)
+
+open Block_parallel
+open Harness
+
+let render f =
+  let buf = Stdlib.Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  ignore (f ppf);
+  Format.pp_print_flush ppf ();
+  Stdlib.Buffer.contents buf
+
+let test_fig2_render () =
+  let s = render Bp_report.Report.fig2 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "3x3 Median"; "5x5 Conv"; "(20x14)"; "30Hz"; "const" ]
+
+let test_fig3_render () =
+  let s = render Bp_report.Report.fig3 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+    [ "storage [24x6]"; "storage [24x10]"; "trim l=1 r=1 t=1 b=1" ]
+
+let test_fig5_render () =
+  let s = render Bp_report.Report.fig5 in
+  Alcotest.(check bool) "24 reused" true (contains s "24");
+  Alcotest.(check bool) "96%" true (contains s "96.0%")
+
+let test_fig13_render () =
+  let s = render Bp_report.Report.fig13 in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) ("row for " ^ label) true (contains s label))
+    Apps.Suite.labels;
+  Alcotest.(check bool) "average row" true (contains s "GM/1:1")
+
+let test_energy_render () =
+  let s = render Bp_report.Report.energy_ablation in
+  Alcotest.(check bool) "both mappings" true
+    (contains s "1:1" && contains s "greedy")
+
+let test_schedulability_render () =
+  let inst =
+    Apps.Image_pipeline.v ~frame:(Size.v 24 18) ~rate:(Rate.hz 30.)
+      ~n_frames:1 ()
+  in
+  let compiled = Pipeline.compile ~machine:Machine.default inst.App.graph in
+  let s =
+    Format.asprintf "@[<v>%a@]" Schedulability.pp
+      (Schedulability.check compiled.Pipeline.machine compiled.Pipeline.graph)
+  in
+  Alcotest.(check bool) "verdict line" true (contains s "schedulable: true");
+  Alcotest.(check bool) "per-kernel rows" true (contains s "3x3 Median")
+
+let suite =
+  [
+    Alcotest.test_case "report: figure 2 text" `Quick test_fig2_render;
+    Alcotest.test_case "report: figure 3 text" `Quick test_fig3_render;
+    Alcotest.test_case "report: figure 5 text" `Quick test_fig5_render;
+    Alcotest.test_case "report: figure 13 text" `Slow test_fig13_render;
+    Alcotest.test_case "report: energy text" `Slow test_energy_render;
+    Alcotest.test_case "report: schedulability text" `Quick
+      test_schedulability_render;
+  ]
+
+let test_machine_ablation () =
+  let rows =
+    Bp_report.Report.machine_ablation
+      (Format.make_formatter (fun _ _ _ -> ()) ignore)
+  in
+  match rows with
+  | [ d; f ] ->
+    Alcotest.(check bool) "both meet rate" true
+      (d.Bp_report.Report.m_met && f.Bp_report.Report.m_met);
+    Alcotest.(check bool) "faster PE, fewer kernels" true
+      (f.Bp_report.Report.m_compute_kernels
+      < d.Bp_report.Report.m_compute_kernels);
+    Alcotest.(check bool) "faster PE, fewer cores" true
+      (f.Bp_report.Report.m_pes_1to1 < d.Bp_report.Report.m_pes_1to1)
+  | _ -> Alcotest.fail "expected two machines"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "report: machine ablation" `Slow test_machine_ablation ]
