@@ -179,6 +179,31 @@ let run_benchmarks () =
     results;
   Table.print table
 
+(* A metrics snapshot of one instrumented reference run (the running
+   example under the greedy mapping), printed with the bechamel numbers so
+   a perf PR shows *where* time moved, not just that it moved. Set
+   BENCH_METRICS=path to also write the snapshot as JSON. *)
+let metrics_snapshot () =
+  let compiled = compiled_pipeline () in
+  let obs = Instrument.create ~graph:compiled.Pipeline.graph () in
+  let result =
+    Sim.run
+      ~observer:(Instrument.observer obs)
+      ~channel_observer:(Instrument.channel_observer obs)
+      ~graph:compiled.Pipeline.graph
+      ~mapping:(Pipeline.mapping_greedy compiled)
+      ~machine:compiled.Pipeline.machine ()
+  in
+  Instrument.finalize obs ~result;
+  let m = Instrument.metrics obs in
+  print_endline "==== metrics snapshot (image-pipeline, greedy) ====";
+  Format.printf "%a@." Metrics.pp m;
+  match Sys.getenv_opt "BENCH_METRICS" with
+  | Some path ->
+    Obs_json.write_file ~path (Metrics.to_json m);
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
 let () =
   if Sys.getenv_opt "BENCH_ONLY" = None then begin
     print_endline "==== figure and table reproduction ====";
@@ -186,4 +211,5 @@ let () =
   end
   else ignore null_ppf;
   print_endline "==== compiler micro-benchmarks ====";
-  run_benchmarks ()
+  run_benchmarks ();
+  metrics_snapshot ()

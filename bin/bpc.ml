@@ -136,6 +136,7 @@ let compile_cmd =
       compile_common app width height rate frames machine policy
     in
     Format.printf "%a" Pipeline.pp_summary compiled;
+    Format.printf "%a@." Pipeline.pp_passes compiled;
     Format.printf "%a" Bp_analysis.Dataflow.pp_report compiled.Pipeline.analysis;
     (match dot with
     | Some path ->
@@ -156,8 +157,27 @@ let compile_cmd =
 
 let trace_arg =
   Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run (one track per \
+           PE, counter tracks for channel occupancy, compile passes) — \
+           open it in Perfetto or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured metrics snapshot (counters, gauges, \
+           histograms; see docs/OBSERVABILITY.md) as JSON.")
+
+let gantt_arg =
+  Arg.(
     value & flag
-    & info [ "trace" ] ~doc:"Print a per-processor Gantt chart of the run.")
+    & info [ "gantt" ] ~doc:"Print a per-processor ASCII Gantt chart.")
 
 let energy_arg =
   Arg.(
@@ -171,8 +191,8 @@ let sched_arg =
         ~doc:"Print the static per-kernel utilization report.")
 
 let simulate_cmd =
-  let run app width height rate frames machine policy greedy trace energy
-      sched =
+  let run app width height rate frames machine policy greedy trace metrics
+      gantt energy sched =
     handle_errors @@ fun () ->
     let inst, compiled =
       compile_common app width height rate frames machine policy
@@ -183,17 +203,40 @@ let simulate_cmd =
         Bp_transform.Schedulability.pp
         (Bp_transform.Schedulability.check compiled.Pipeline.machine
            compiled.Pipeline.graph);
-    let recorded, observer = Bp_sim.Trace.recorder () in
+    let recorded, trace_observer = Bp_sim.Trace.recorder () in
+    let obs = Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph () in
+    let observer ~time_s ~proc ~node ~method_name ~service_s =
+      trace_observer ~time_s ~proc ~node ~method_name ~service_s;
+      Bp_obs.Instrument.observer obs ~time_s ~proc ~node ~method_name
+        ~service_s
+    in
     let result =
       let mapping =
         if greedy then Pipeline.mapping_greedy compiled
         else Pipeline.mapping_one_to_one compiled
       in
-      Sim.run ~observer ~graph:compiled.Pipeline.graph ~mapping
+      Sim.run ~observer
+        ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
+        ~graph:compiled.Pipeline.graph ~mapping
         ~machine:compiled.Pipeline.machine ()
     in
+    Bp_obs.Instrument.finalize obs ~result;
     Format.printf "%a@." Sim.pp_result result;
-    if trace then print_string (Bp_sim.Trace.gantt recorded);
+    if gantt then print_string (Bp_sim.Trace.gantt recorded);
+    (match trace with
+    | Some path ->
+      Bp_obs.Chrome_trace.write_file ~path
+        (Bp_obs.Chrome_trace.of_run
+           ~compile_passes:compiled.Pipeline.passes ~instrument:obs
+           ~graph:compiled.Pipeline.graph ~trace:recorded ());
+      Format.printf "wrote %s@." path
+    | None -> ());
+    (match metrics with
+    | Some path ->
+      Bp_obs.Json.write_file ~path
+        (Bp_obs.Metrics.to_json (Bp_obs.Instrument.metrics obs));
+      Format.printf "wrote %s@." path
+    | None -> ());
     if energy then
       Format.printf "%a@." Bp_sim.Energy.pp
         (Bp_sim.Energy.of_result ~machine:compiled.Pipeline.machine result);
@@ -218,8 +261,8 @@ let simulate_cmd =
        ~doc:"Compile, simulate, and verify function and throughput")
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
-      $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ energy_arg
-      $ sched_arg)
+      $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ metrics_arg
+      $ gantt_arg $ energy_arg $ sched_arg)
 
 let run_cmd =
   let file_arg =
@@ -336,6 +379,7 @@ let report_cmd =
       ("fig11", fun ppf -> ignore (Bp_report.Report.fig11 ppf));
       ("fig12", fun ppf -> ignore (Bp_report.Report.fig12 ppf));
       ("fig13", fun ppf -> ignore (Bp_report.Report.fig13 ppf));
+      ("util", fun ppf -> ignore (Bp_report.Report.utilization_table ppf));
       ("placement", fun ppf -> ignore (Bp_report.Report.placement_ablation ppf));
       ("energy", fun ppf -> ignore (Bp_report.Report.energy_ablation ppf));
       ("machines", fun ppf -> ignore (Bp_report.Report.machine_ablation ppf));
@@ -345,7 +389,9 @@ let report_cmd =
     Arg.(
       value & pos_all string [ "all" ]
       & info [] ~docv:"FIG"
-          ~doc:"Figures to reproduce (fig2..fig13, placement, energy, or all).")
+          ~doc:
+            "Figures to reproduce (fig2..fig13, util, placement, energy, \
+             machines, or all).")
   in
   let dot_dir =
     Arg.(

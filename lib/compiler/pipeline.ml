@@ -8,6 +8,15 @@ module Multiplex = Bp_transform.Multiplex
 module Dataflow = Bp_analysis.Dataflow
 module Mapping = Bp_sim.Mapping
 
+type pass_timing = {
+  pass : string;
+  wall_s : float;
+  nodes_before : int;
+  nodes_after : int;
+  channels_before : int;
+  channels_after : int;
+}
+
 type t = {
   graph : Graph.t;
   machine : Machine.t;
@@ -15,23 +24,53 @@ type t = {
   buffers : Buffering.inserted list;
   decisions : Parallelize.decision list;
   analysis : Dataflow.t;
+  passes : pass_timing list;
 }
 
 let compile ?align_policy ~machine g =
-  Graph.validate g;
-  ignore (Dataflow.analyze g);
-  let repairs = Align.run ?policy:align_policy g in
-  let buffers = Buffering.run g in
-  let decisions = Parallelize.run machine g in
-  let analysis = Dataflow.analyze g in
-  if Dataflow.misalignments analysis <> [] then
-    Err.alignf "internal: misalignment survived compilation";
-  List.iter
-    (fun c ->
-      if Dataflow.needs_buffer analysis c then
-        Err.graphf "internal: channel still needs a buffer after compilation")
-    (Graph.channels g);
-  { graph = g; machine; repairs; buffers; decisions; analysis }
+  let passes = ref [] in
+  let timed pass f =
+    let nodes_before = Graph.size g in
+    let channels_before = List.length (Graph.channels g) in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    passes :=
+      {
+        pass;
+        wall_s;
+        nodes_before;
+        nodes_after = Graph.size g;
+        channels_before;
+        channels_after = List.length (Graph.channels g);
+      }
+      :: !passes;
+    r
+  in
+  timed "validate" (fun () -> Graph.validate g);
+  timed "analyze-pre" (fun () -> ignore (Dataflow.analyze g));
+  let repairs = timed "align" (fun () -> Align.run ?policy:align_policy g) in
+  let buffers = timed "buffering" (fun () -> Buffering.run g) in
+  let decisions = timed "parallelize" (fun () -> Parallelize.run machine g) in
+  let analysis = timed "analyze-post" (fun () -> Dataflow.analyze g) in
+  timed "check" (fun () ->
+      if Dataflow.misalignments analysis <> [] then
+        Err.alignf "internal: misalignment survived compilation";
+      List.iter
+        (fun c ->
+          if Dataflow.needs_buffer analysis c then
+            Err.graphf
+              "internal: channel still needs a buffer after compilation")
+        (Graph.channels g));
+  {
+    graph = g;
+    machine;
+    repairs;
+    buffers;
+    decisions;
+    analysis;
+    passes = List.rev !passes;
+  }
 
 let mapping_one_to_one t = Mapping.one_to_one t.graph
 
@@ -68,3 +107,18 @@ let pp_summary ppf t =
         | Parallelize.Memory_bound -> "memory"
         | Parallelize.Capped_by_dependency -> "dependency-capped"))
     t.decisions
+
+let pp_passes ppf t =
+  Format.fprintf ppf "@[<v>compile passes:@,";
+  List.iter
+    (fun p ->
+      let delta before after =
+        if after = before then "" else Printf.sprintf "%+d" (after - before)
+      in
+      Format.fprintf ppf "  %-12s %8.3f ms  nodes %d%s, channels %d%s@," p.pass
+        (1000. *. p.wall_s) p.nodes_after
+        (delta p.nodes_before p.nodes_after)
+        p.channels_after
+        (delta p.channels_before p.channels_after))
+    t.passes;
+  Format.fprintf ppf "@]"

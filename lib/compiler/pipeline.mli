@@ -13,6 +13,20 @@
     Mappings (1:1 or greedily multiplexed, Section V) are produced
     separately so a compiled program can be simulated under both. *)
 
+type pass_timing = {
+  pass : string;
+      (** Pass name: ["validate" | "analyze-pre" | "align" | "buffering" |
+          "parallelize" | "analyze-post" | "check"], in execution order. *)
+  wall_s : float;  (** Wall-clock seconds spent in the pass. *)
+  nodes_before : int;
+  nodes_after : int;
+  channels_before : int;
+  channels_after : int;
+}
+(** One compile pass's wall time and graph-size delta — the compiler half
+    of the observability contract (docs/OBSERVABILITY.md). Exported to
+    Chrome trace JSON by {!Bp_obs.Chrome_trace}. *)
+
 type t = {
   graph : Bp_graph.Graph.t;  (** The elaborated graph (mutated in place). *)
   machine : Bp_machine.Machine.t;
@@ -20,6 +34,7 @@ type t = {
   buffers : Bp_transform.Buffering.inserted list;
   decisions : Bp_transform.Parallelize.decision list;
   analysis : Bp_analysis.Dataflow.t;  (** Of the elaborated graph. *)
+  passes : pass_timing list;  (** In execution order. *)
 }
 
 val compile :
@@ -43,3 +58,6 @@ val simulate :
 (** Convenience: simulate the compiled program under the chosen mapping. *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+val pp_passes : Format.formatter -> t -> unit
+(** The per-pass timing table: wall time and node/channel deltas. *)

@@ -69,6 +69,13 @@ module Energy = Bp_sim.Energy
 module Placement = Bp_placement.Placement
 module Dot = Bp_viz.Dot
 
+(** {1 Observability} *)
+
+module Metrics = Bp_obs.Metrics
+module Instrument = Bp_obs.Instrument
+module Chrome_trace = Bp_obs.Chrome_trace
+module Obs_json = Bp_obs.Json
+
 (** {1 Applications} *)
 
 module App = Bp_apps.App

@@ -1,0 +1,145 @@
+module Graph = Bp_graph.Graph
+module Trace = Bp_sim.Trace
+module Pipeline = Bp_compiler.Pipeline
+
+let us_of_s s = 1e6 *. s
+
+(* Process ids: 0 = the simulated chip, 1 = the compiler. *)
+let sim_pid = 0
+let compiler_pid = 1
+
+let metadata ~pid ?tid ~name ~value () =
+  let base =
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("ts", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+  in
+  match tid with
+  | None -> Json.Obj base
+  | Some t -> Json.Obj (base @ [ ("tid", Json.Int t) ])
+
+let firing_event (f : Trace.firing) =
+  Json.Obj
+    [
+      ("name", Str (f.Trace.kernel ^ "." ^ f.Trace.method_name));
+      ("cat", Str "firing");
+      ("ph", Str "X");
+      ("ts", Json.float (us_of_s f.Trace.at_s));
+      ("dur", Json.float (us_of_s f.Trace.service_s));
+      ("pid", Int sim_pid);
+      ("tid", Int f.Trace.proc);
+      ( "args",
+        Obj
+          [
+            ("kernel", Str f.Trace.kernel);
+            ("method", Str f.Trace.method_name);
+          ] );
+    ]
+
+let counter_event ~name ~ts_us ~depth =
+  Json.Obj
+    [
+      ("name", Str name);
+      ("cat", Str "channel");
+      ("ph", Str "C");
+      ("ts", Json.float ts_us);
+      ("pid", Int sim_pid);
+      ("args", Obj [ ("items", Int depth) ]);
+    ]
+
+let pass_events passes =
+  let _, rev =
+    List.fold_left
+      (fun (t_us, acc) (p : Pipeline.pass_timing) ->
+        let dur = us_of_s p.Pipeline.wall_s in
+        let ev =
+          Json.Obj
+            [
+              ("name", Str p.Pipeline.pass);
+              ("cat", Str "compile-pass");
+              ("ph", Str "X");
+              ("ts", Json.float t_us);
+              ("dur", Json.float dur);
+              ("pid", Int compiler_pid);
+              ("tid", Int 0);
+              ( "args",
+                Obj
+                  [
+                    ("nodes_before", Int p.Pipeline.nodes_before);
+                    ("nodes_after", Int p.Pipeline.nodes_after);
+                    ("channels_before", Int p.Pipeline.channels_before);
+                    ("channels_after", Int p.Pipeline.channels_after);
+                  ] );
+            ]
+        in
+        (t_us +. dur, (t_us, ev) :: acc))
+      (0., []) passes
+  in
+  List.rev rev
+
+let of_run ?(process_name = "bp-sim") ?compile_passes ?instrument ~graph
+    ~trace () =
+  let firings = Trace.firings trace in
+  let procs =
+    List.fold_left (fun acc (f : Trace.firing) -> max acc f.Trace.proc) (-1)
+      firings
+  in
+  let meta =
+    metadata ~pid:sim_pid ~name:"process_name" ~value:process_name ()
+    :: List.concat
+         [
+           List.init (procs + 1) (fun p ->
+               metadata ~pid:sim_pid ~tid:p ~name:"thread_name"
+                 ~value:(Printf.sprintf "PE %d" p) ());
+           (match compile_passes with
+           | Some _ ->
+             [
+               metadata ~pid:compiler_pid ~name:"process_name"
+                 ~value:"bpc compile" ();
+               metadata ~pid:compiler_pid ~tid:0 ~name:"thread_name"
+                 ~value:"passes" ();
+             ]
+           | None -> []);
+         ]
+  in
+  let timed =
+    List.concat
+      [
+        List.map (fun f -> (us_of_s f.Trace.at_s, firing_event f)) firings;
+        (match instrument with
+        | None -> []
+        | Some inst ->
+          List.concat_map
+            (fun (id, samples) ->
+              let name =
+                Printf.sprintf "chan.%d %s" id
+                  (Instrument.channel_label graph id)
+              in
+              List.map
+                (fun (t_s, depth) ->
+                  let ts_us = us_of_s t_s in
+                  (ts_us, counter_event ~name ~ts_us ~depth))
+                samples)
+            (Instrument.channel_series inst));
+        (match compile_passes with
+        | None -> []
+        | Some passes -> pass_events passes);
+      ]
+  in
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) timed
+  in
+  (* Metadata first (ts 0), then everything else sorted by ts: the schema
+     promises monotone timestamps, which tests and downstream consumers
+     rely on. *)
+  let events = meta @ List.map snd sorted in
+  Json.Obj
+    [
+      ("traceEvents", List events); ("displayTimeUnit", Str "ms");
+    ]
+
+let write_file = Json.write_file

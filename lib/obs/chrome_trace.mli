@@ -1,0 +1,27 @@
+(** Chrome [trace_event] export — load the result in Perfetto
+    ({:https://ui.perfetto.dev}) or [chrome://tracing].
+
+    Renders a recorded {!Bp_sim.Trace.t} as one track ("thread") per
+    processor of complete events (["ph":"X"]) — one slice per kernel
+    firing — plus, when an {!Instrument} is supplied, one counter track
+    (["ph":"C"]) per channel with its queue occupancy over time, and, when
+    compile pass timings are supplied, a second process with one slice per
+    compiler pass. Timestamps are microseconds of *simulated* time
+    (compiler passes: microseconds of wall time, on their own timeline
+    starting at 0). The full schema is documented in
+    docs/OBSERVABILITY.md. *)
+
+val of_run :
+  ?process_name:string ->
+  ?compile_passes:Bp_compiler.Pipeline.pass_timing list ->
+  ?instrument:Instrument.t ->
+  graph:Bp_graph.Graph.t ->
+  trace:Bp_sim.Trace.t ->
+  unit ->
+  Json.t
+(** The trace document: [{"traceEvents": [...], "displayTimeUnit": "ms"}]
+    with events sorted by timestamp (metadata first). [process_name]
+    defaults to ["bp-sim"]. *)
+
+val write_file : path:string -> Json.t -> unit
+(** Alias of {!Json.write_file}, so callers need only this module. *)

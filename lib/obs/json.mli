@@ -1,0 +1,30 @@
+(** A minimal JSON value and serializer.
+
+    The observability layer emits machine-readable artifacts (metrics
+    snapshots, Chrome [trace_event] files) without pulling a JSON library
+    into the dependency cone. Only construction and serialization are
+    provided — the repo never *parses* JSON (tests carry their own tiny
+    validating reader). Serialization is strict RFC 8259: strings are
+    escaped, non-finite floats become [null] (JSON has no representation
+    for them), and numbers render in a form Python's [json] module and
+    Perfetto both accept. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float : float -> t
+(** [Float f], except non-finite values map to [Null]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val write_file : path:string -> t -> unit
+(** Serialize to [path] with a trailing newline. *)

@@ -1,0 +1,171 @@
+let bucket_bounds =
+  [| 1e-9; 1e-8; 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  buckets : int array;  (* one per bound + overflow *)
+}
+
+type value = Counter of int ref | Gauge of float ref | Hist of hist
+
+type t = (string, value) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let find t name ~kind ~make =
+  match Hashtbl.find_opt t name with
+  | Some v ->
+    if kind_name v <> kind then
+      invalid_arg
+        (Printf.sprintf "Metrics: %s is a %s, used as a %s" name (kind_name v)
+           kind);
+    v
+  | None ->
+    let v = make () in
+    Hashtbl.replace t name v;
+    v
+
+let counter_ref t name =
+  match find t name ~kind:"counter" ~make:(fun () -> Counter (ref 0)) with
+  | Counter r -> r
+  | _ -> assert false
+
+let gauge_ref t name =
+  match find t name ~kind:"gauge" ~make:(fun () -> Gauge (ref 0.)) with
+  | Gauge r -> r
+  | _ -> assert false
+
+let hist_of t name =
+  let make () =
+    Hist
+      {
+        count = 0;
+        sum = 0.;
+        mn = Float.infinity;
+        mx = Float.neg_infinity;
+        buckets = Array.make (Array.length bucket_bounds + 1) 0;
+      }
+  in
+  match find t name ~kind:"histogram" ~make with
+  | Hist h -> h
+  | _ -> assert false
+
+let incr t ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  let r = counter_ref t name in
+  r := !r + by
+
+let set t name v = gauge_ref t name := v
+let set_max t name v =
+  let r = gauge_ref t name in
+  if v > !r then r := v
+
+let add t name v =
+  let r = gauge_ref t name in
+  r := !r +. v
+
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  let rec go i = if i >= n then n else if v <= bucket_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t name v =
+  let h = hist_of t name in
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.mn then h.mn <- v;
+  if v > h.mx then h.mx <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let counter t name =
+  match Hashtbl.find_opt t name with Some (Counter r) -> !r | _ -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t name with Some (Gauge r) -> Some !r | _ -> None
+
+type hist_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+}
+
+let histogram t name =
+  match Hashtbl.find_opt t name with
+  | Some (Hist h) when h.count > 0 ->
+    Some
+      {
+        h_count = h.count;
+        h_sum = h.sum;
+        h_min = h.mn;
+        h_max = h.mx;
+        h_mean = h.sum /. float_of_int h.count;
+      }
+  | Some (Hist _) ->
+    Some { h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0.; h_mean = 0. }
+  | _ -> None
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let to_json t =
+  let entry name =
+    match Hashtbl.find t name with
+    | Counter r -> Json.Obj [ ("name", Str name); ("kind", Str "counter"); ("value", Int !r) ]
+    | Gauge r ->
+      Json.Obj [ ("name", Str name); ("kind", Str "gauge"); ("value", Json.float !r) ]
+    | Hist h ->
+      let stats = Option.get (histogram t name) in
+      let buckets =
+        List.concat
+          [
+            List.mapi
+              (fun i le ->
+                Json.Obj [ ("le", Json.float le); ("count", Int h.buckets.(i)) ])
+              (Array.to_list bucket_bounds);
+            [
+              Json.Obj
+                [
+                  ("le", Null);
+                  ("count", Int h.buckets.(Array.length bucket_bounds));
+                ];
+            ];
+          ]
+      in
+      Json.Obj
+        [
+          ("name", Str name);
+          ("kind", Str "histogram");
+          ("count", Int stats.h_count);
+          ("sum", Json.float stats.h_sum);
+          ("min", Json.float stats.h_min);
+          ("max", Json.float stats.h_max);
+          ("mean", Json.float stats.h_mean);
+          ("buckets", List buckets);
+        ]
+  in
+  Json.Obj [ ("metrics", List (List.map entry (names t))) ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun name ->
+      match Hashtbl.find t name with
+      | Counter r -> Format.fprintf ppf "%-40s %12d@," name !r
+      | Gauge r -> Format.fprintf ppf "%-40s %12g@," name !r
+      | Hist _ ->
+        let s = Option.get (histogram t name) in
+        Format.fprintf ppf "%-40s n=%d sum=%g min=%g max=%g mean=%g@," name
+          s.h_count s.h_sum s.h_min s.h_max s.h_mean)
+    (names t);
+  Format.fprintf ppf "@]"

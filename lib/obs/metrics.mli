@@ -1,0 +1,78 @@
+(** A structured metrics registry: counters, gauges, histograms.
+
+    The aggregation half of the observability layer. Names are flat,
+    dot-separated strings; the normative name set produced by a simulation
+    run is documented in docs/OBSERVABILITY.md ([kernel.<name>.fires],
+    [chan.<id>.pushes], [pe.<p>.busy_s], ...). A name is bound to one kind
+    on first use; touching it with a different kind raises
+    [Invalid_argument] — a misspelled instrumentation site should fail
+    loudly, not fork a second series.
+
+    - A {b counter} is a monotonically increasing integer (events).
+    - A {b gauge} is a float with last-write ([set]), high-water
+      ([set_max]) or accumulate ([add]) semantics (seconds, depths).
+    - A {b histogram} is a distribution summary: count/sum/min/max plus
+      counts in fixed decade buckets (default bounds suit durations in
+      seconds, 1 ns .. 10 s).
+
+    The registry is not thread-safe; the simulator is single-threaded. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter ([by] defaults to 1; must be >= 0). *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge to a value. *)
+
+val set_max : t -> string -> float -> unit
+(** Raise a gauge to [max current value] — high-water marks. *)
+
+val add : t -> string -> float -> unit
+(** Accumulate into a gauge — time totals. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into a histogram. *)
+
+(** {1 Reading} *)
+
+val counter : t -> string -> int
+(** Current counter value; 0 when the name was never incremented. *)
+
+val gauge : t -> string -> float option
+
+type hist_stats = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_mean : float;
+}
+
+val histogram : t -> string -> hist_stats option
+
+val bucket_bounds : float array
+(** Upper bounds (inclusive, seconds) of the histogram decade buckets; a
+    final implicit overflow bucket catches everything above the last
+    bound. *)
+
+val names : t -> string list
+(** All registered names, sorted — the iteration order of {!to_json} and
+    {!pp}, so output is deterministic. *)
+
+(** {1 Export} *)
+
+val to_json : t -> Json.t
+(** The metrics snapshot schema of docs/OBSERVABILITY.md:
+    [{"metrics": [{"name": ..., "kind": "counter"|"gauge"|"histogram", ...}]}]
+    with entries sorted by name. Counters and gauges carry ["value"];
+    histograms carry ["count"], ["sum"], ["min"], ["max"], ["mean"] and
+    ["buckets"] (a list of [{"le": bound, "count": n}] with a final
+    [{"le": null}] overflow entry). *)
+
+val pp : Format.formatter -> t -> unit
+(** A plain-text table of every metric, sorted by name. *)

@@ -589,6 +589,105 @@ let fig13 ppf =
   Format.fprintf ppf "%s@." (Table.render table);
   out
 
+(* ---- PE utilization table (observability layer) ----------------------- *)
+
+type util_row = {
+  u_label : string;
+  u_mapping : string;
+  u_pes : int;
+  u_avg : float;
+  u_min : float;
+  u_max : float;
+  u_busiest : string;
+}
+
+let utilization_table ppf =
+  let rows =
+    List.concat_map
+      (fun (e : Bp_apps.Suite.entry) ->
+        let inst = e.Bp_apps.Suite.build () in
+        let compiled =
+          Pipeline.compile ~machine:e.Bp_apps.Suite.machine inst.App.graph
+        in
+        List.map
+          (fun greedy ->
+            let mapping =
+              if greedy then Pipeline.mapping_greedy compiled
+              else Pipeline.mapping_one_to_one compiled
+            in
+            let obs =
+              Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph ()
+            in
+            let result =
+              Sim.run
+                ~observer:(Bp_obs.Instrument.observer obs)
+                ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
+                ~graph:compiled.Pipeline.graph ~mapping
+                ~machine:compiled.Pipeline.machine ()
+            in
+            Bp_obs.Instrument.finalize obs ~result;
+            let m = Bp_obs.Instrument.metrics obs in
+            let pes = Array.length result.Sim.procs in
+            let utils =
+              List.init pes (fun p ->
+                  Option.value ~default:0.
+                    (Bp_obs.Metrics.gauge m (Printf.sprintf "pe.%d.util" p)))
+            in
+            (* Busiest kernel straight from the metrics contract: the
+               [kernel.<name>.service_s] histogram with the largest sum. *)
+            let busiest =
+              List.fold_left
+                (fun (best, best_sum) name ->
+                  match Bp_obs.Metrics.histogram m name with
+                  | Some h when h.Bp_obs.Metrics.h_sum > best_sum ->
+                    let stripped =
+                      String.sub name 7 (String.length name - 7 - 10)
+                    in
+                    (stripped, h.Bp_obs.Metrics.h_sum)
+                  | _ -> (best, best_sum))
+                ("-", 0.)
+                (List.filter
+                   (fun n ->
+                     String.length n > 17
+                     && String.sub n 0 7 = "kernel."
+                     && Filename.check_suffix n ".service_s")
+                   (Bp_obs.Metrics.names m))
+              |> fst
+            in
+            {
+              u_label = e.Bp_apps.Suite.label;
+              u_mapping = (if greedy then "GM" else "1:1");
+              u_pes = pes;
+              u_avg = Stats.mean utils;
+              u_min = (match utils with [] -> 0. | l -> List.fold_left Float.min infinity l);
+              u_max = (match utils with [] -> 0. | l -> Stats.maximum l);
+              u_busiest = busiest;
+            })
+          [ false; true ])
+      Bp_apps.Suite.entries
+  in
+  let table =
+    Table.create
+      ~title:
+        "PE utilization (from the metrics layer): avg/min/max per mapping"
+      [ "bench"; "map"; "PEs"; "avg"; "min"; "max"; "busiest kernel" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.u_label;
+          r.u_mapping;
+          string_of_int r.u_pes;
+          Stats.pct r.u_avg;
+          Stats.pct r.u_min;
+          Stats.pct r.u_max;
+          r.u_busiest;
+        ])
+    rows;
+  Format.fprintf ppf "%s@." (Table.render table);
+  rows
+
 (* ---- Placement ablation ----------------------------------------------- *)
 
 type placement_result = {
@@ -768,6 +867,7 @@ let all ppf =
   ignore (fig11 ppf);
   ignore (fig12 ppf);
   ignore (fig13 ppf);
+  ignore (utilization_table ppf);
   ignore (placement_ablation ppf);
   ignore (energy_ablation ppf);
   ignore (machine_ablation ppf)

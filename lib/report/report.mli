@@ -122,6 +122,24 @@ val fig13 : Format.formatter -> fig13_result
 (** Processor utilization for the full benchmark suite under both mappings
     (Figure 13). *)
 
+type util_row = {
+  u_label : string;
+  u_mapping : string;  (** "1:1" or "GM". *)
+  u_pes : int;
+  u_avg : float;
+  u_min : float;
+  u_max : float;
+  u_busiest : string;
+      (** The kernel with the largest total service time, read from the
+          [kernel.<name>.service_s] metrics. *)
+}
+
+val utilization_table : Format.formatter -> util_row list
+(** Per-PE utilization for the whole suite under both mappings, computed
+    from the observability layer's [pe.<p>.util] gauges rather than from
+    [Sim.result] directly — the table exercises (and therefore guards) the
+    instrumentation contract of docs/OBSERVABILITY.md. *)
+
 type placement_result = {
   random_cost : float;
   annealed_cost : float;

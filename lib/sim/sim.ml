@@ -37,9 +37,12 @@ type placement_model = {
   hop_cycles_per_word : float;
 }
 
+type channel_event = Ch_push | Ch_pop | Ch_block
+
 (* ---- runtime structures ---------------------------------------------- *)
 
 type chan_rt = {
+  id : int;
   queue : Item.t Queue.t;
   capacity : int;
   mutable hops : int;  (* mesh distance between producer and consumer *)
@@ -80,7 +83,8 @@ type event = Source_slot of source_rt | Const_emit of node_rt | Proc_free of int
 
 (* ---- io construction -------------------------------------------------- *)
 
-let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop =
+let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop
+    ~on_chan =
   let find_in port =
     match List.assoc_opt port rt.in_chans with
     | Some c -> c
@@ -104,6 +108,7 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop =
         let item = Queue.pop c.queue in
         read_words := !read_words + Item.words item;
         on_pop item;
+        on_chan c Ch_pop;
         item);
     push =
       (fun port item ->
@@ -117,7 +122,8 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop =
             if Queue.length c.queue > c.max_depth then
               c.max_depth <- Queue.length c.queue;
             write_words := !write_words + Item.words item;
-            hop_words := !hop_words + (c.hops * Item.words item))
+            hop_words := !hop_words + (c.hops * Item.words item);
+            on_chan c Ch_push)
           cs);
     space =
       (fun port ->
@@ -125,7 +131,10 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop =
         | [] -> max_int
         | cs ->
           List.fold_left
-            (fun acc c -> min acc (c.capacity - Queue.length c.queue))
+            (fun acc c ->
+              let free = c.capacity - Queue.length c.queue in
+              if free <= 0 then on_chan c Ch_block;
+              min acc free)
             max_int cs);
   }
 
@@ -133,6 +142,8 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop =
 
 let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     ?(observer = fun ~time_s:_ ~proc:_ ~node:_ ~method_name:_ ~service_s:_ -> ())
+    ?(channel_observer =
+      fun ~time_s:_ ~chan_id:_ ~node:_ ~proc:_ ~event:_ ~depth:_ -> ())
     ~graph:g ~mapping ~machine () =
   Graph.validate g;
   let pe = machine.Machine.pe in
@@ -142,6 +153,7 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     (fun (c : Graph.channel) ->
       Hashtbl.replace chans c.Graph.chan_id
         {
+          id = c.Graph.chan_id;
           queue = Queue.create ();
           capacity = c.Graph.capacity;
           hops = 0;
@@ -240,7 +252,11 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           Hashtbl.replace sink_first_data rt.node.Graph.id !now
       | _ -> ()
     in
-    let io = make_io rt ~read_words ~write_words ~hop_words ~on_pop in
+    let on_chan (c : chan_rt) ev =
+      channel_observer ~time_s:!now ~chan_id:c.id ~node:rt.node ~proc:rt.proc
+        ~event:ev ~depth:(Queue.length c.queue)
+    in
+    let io = make_io rt ~read_words ~write_words ~hop_words ~on_pop ~on_chan in
     match rt.behaviour.Behaviour.try_step io with
     | None -> None
     | Some fired ->

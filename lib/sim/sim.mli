@@ -70,6 +70,18 @@ type placement_model = {
   hop_cycles_per_word : float;  (** Extra write cycles per word per hop. *)
 }
 
+(** What just happened on a channel — the events behind the
+    [channel_observer] hook (see docs/OBSERVABILITY.md for the normative
+    contract):
+    - [Ch_push]: one item was appended by the firing kernel (one event per
+      fan-out copy);
+    - [Ch_pop]: one item was removed by the firing kernel;
+    - [Ch_block]: a kernel's output-space guard found this channel full —
+      the firing could not proceed through it. Emitted per guard
+      evaluation, so a persistently blocked kernel reports one event per
+      scheduling attempt, not one per stall interval. *)
+type channel_event = Ch_push | Ch_pop | Ch_block
+
 val run :
   ?max_time_s:float ->
   ?max_events:int ->
@@ -81,6 +93,14 @@ val run :
     method_name:string ->
     service_s:float ->
     unit) ->
+  ?channel_observer:
+    (time_s:float ->
+    chan_id:int ->
+    node:Bp_graph.Graph.node ->
+    proc:int option ->
+    event:channel_event ->
+    depth:int ->
+    unit) ->
   graph:Bp_graph.Graph.t ->
   mapping:Mapping.t ->
   machine:Bp_machine.Machine.t ->
@@ -90,7 +110,13 @@ val run :
     and [max_events] (default 50 million) bound runaway graphs; hitting
     either sets [timed_out]. [observer] is invoked for every on-chip kernel
     firing with its start time, processor, and service time — the hook the
-    {!Trace} module records through. *)
+    {!Trace} module records through. [channel_observer] is invoked on every
+    channel push/pop/full-guard event with the acting node, its processor
+    ([None] for off-chip sources and sinks), and the queue depth *after*
+    the event — the hook [Bp_obs.Instrument] feeds metrics and occupancy
+    counter tracks from. Both hooks default to no-ops and must not mutate
+    simulation state; a run's [result] is identical with and without them
+    (asserted in [test/test_obs.ml]). *)
 
 val utilization : result -> proc:int -> float
 (** [(run+read+write) / duration] for one processor. *)

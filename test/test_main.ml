@@ -17,5 +17,6 @@ let () =
       ("differential", Test_differential.suite);
       ("sweeps", Test_sweeps.suite);
       ("report", Test_report.suite);
+      ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,544 @@
+(* Tests for the observability layer (lib/obs): the metrics registry, the
+   instrumentation contract of docs/OBSERVABILITY.md, Chrome-trace export
+   (valid JSON, monotone timestamps, one track per PE, counter tracks),
+   compile-pass timings, and — crucially — that observers are passive: a
+   run's result is identical with and without them. *)
+
+open Block_parallel
+
+(* ---- a tiny validating JSON reader ------------------------------------ *)
+(* The repo deliberately has no JSON dependency; this reader exists so the
+   tests can assert "python -m json.tool would accept this" in-process. *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JList of json list
+  | JObj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos >= n then bad "eof" else s.[!pos] in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then bad (Printf.sprintf "expected %c" c);
+    incr pos
+  in
+  let lit l v =
+    if !pos + String.length l <= n && String.sub s !pos (String.length l) = l
+    then begin
+      pos := !pos + String.length l;
+      v
+    end
+    else bad ("expected " ^ l)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Stdlib.Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then bad "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (match peek () with
+        | '"' -> Stdlib.Buffer.add_char buf '"'
+        | '\\' -> Stdlib.Buffer.add_char buf '\\'
+        | '/' -> Stdlib.Buffer.add_char buf '/'
+        | 'b' -> Stdlib.Buffer.add_char buf '\b'
+        | 'f' -> Stdlib.Buffer.add_char buf '\012'
+        | 'n' -> Stdlib.Buffer.add_char buf '\n'
+        | 'r' -> Stdlib.Buffer.add_char buf '\r'
+        | 't' -> Stdlib.Buffer.add_char buf '\t'
+        | 'u' ->
+          if !pos + 4 >= n then bad "bad \\u escape";
+          let code =
+            try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+            with _ -> bad "bad \\u escape"
+          in
+          pos := !pos + 4;
+          (* Our writer only \u-escapes control characters, so a one-byte
+             decode is enough for the round-trip check. *)
+          if code < 0x80 then Stdlib.Buffer.add_char buf (Char.chr code)
+          else Stdlib.Buffer.add_char buf '?'
+        | _ -> bad "bad escape");
+        incr pos;
+        go ()
+      | c when Char.code c < 0x20 -> bad "raw control char in string"
+      | c ->
+        Stdlib.Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Stdlib.Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> JNum f
+    | None -> bad ("bad number " ^ tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        JObj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            fields ((k, v) :: acc)
+          | '}' ->
+            incr pos;
+            List.rev ((k, v) :: acc)
+          | _ -> bad "expected , or }"
+        in
+        JObj (fields [])
+      end
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        JList []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            items (v :: acc)
+          | ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> bad "expected , or ]"
+        in
+        JList (items [])
+      end
+    | '"' -> JStr (parse_string ())
+    | 't' -> lit "true" (JBool true)
+    | 'f' -> lit "false" (JBool false)
+    | 'n' -> lit "null" JNull
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage";
+  v
+
+let field name = function
+  | JObj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* ---- fixtures ---------------------------------------------------------- *)
+
+(* Source -> Forward -> Sink on a 4x3 frame: every count below is
+   hand-computable. One frame is 12 pixels + 3 end-of-line + 1 end-of-frame
+   = 16 items; the forward kernel fires once per item (12 data fires + 4
+   token forwards). *)
+let tiny () =
+  let frame = Size.v 4 3 in
+  let frames = Image.Gen.frame_sequence ~seed:7 frame 1 in
+  let g = Graph.create () in
+  let src =
+    Graph.add g
+      ~meta:(Graph.Source_meta { frame; rate = Rate.hz 50. })
+      (Source.spec ~frame ~frames ())
+  in
+  let fwd = Graph.add g (Arith.forward ()) in
+  let collector = Sink.collector () in
+  let sink = Graph.add g (Sink.spec ~window:Window.pixel collector ()) in
+  Graph.connect g ~from:(src, "out") ~into:(fwd, "in");
+  Graph.connect g ~from:(fwd, "out") ~into:(sink, "in");
+  (g, fwd)
+
+let instrumented_run ?sample_limit g =
+  let obs = Instrument.create ?sample_limit ~graph:g () in
+  let trace, trace_observer = Trace.recorder () in
+  let observer ~time_s ~proc ~node ~method_name ~service_s =
+    trace_observer ~time_s ~proc ~node ~method_name ~service_s;
+    Instrument.observer obs ~time_s ~proc ~node ~method_name ~service_s
+  in
+  let result =
+    Sim.run ~observer
+      ~channel_observer:(Instrument.channel_observer obs)
+      ~graph:g ~mapping:(Mapping.one_to_one g) ~machine:Machine.default ()
+  in
+  Instrument.finalize obs ~result;
+  (obs, trace, result)
+
+let compiled_pipeline () =
+  let inst =
+    Apps.Image_pipeline.v ~frame:(Size.v 24 18) ~rate:(Rate.hz 30.)
+      ~n_frames:2 ()
+  in
+  Pipeline.compile ~machine:Machine.default inst.App.graph
+
+(* ---- metrics registry -------------------------------------------------- *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.incr m ~by:4 "c";
+  Alcotest.(check int) "counter" 5 (Metrics.counter m "c");
+  Alcotest.(check int) "absent counter" 0 (Metrics.counter m "nope");
+  Metrics.set m "g" 2.5;
+  Metrics.set_max m "g" 1.0;
+  Alcotest.(check (float 0.)) "set_max keeps high water" 2.5
+    (Option.get (Metrics.gauge m "g"));
+  Metrics.set_max m "g" 7.0;
+  Alcotest.(check (float 0.)) "set_max raises" 7.0
+    (Option.get (Metrics.gauge m "g"));
+  Metrics.add m "acc" 1.5;
+  Metrics.add m "acc" 1.5;
+  Alcotest.(check (float 1e-12)) "add accumulates" 3.0
+    (Option.get (Metrics.gauge m "acc"));
+  Metrics.observe m "h" 1e-6;
+  Metrics.observe m "h" 3e-6;
+  let h = Option.get (Metrics.histogram m "h") in
+  Alcotest.(check int) "hist count" 2 h.Metrics.h_count;
+  Alcotest.(check (float 1e-18)) "hist sum" 4e-6 h.Metrics.h_sum;
+  Alcotest.(check (float 1e-18)) "hist min" 1e-6 h.Metrics.h_min;
+  Alcotest.(check (float 1e-18)) "hist max" 3e-6 h.Metrics.h_max;
+  Alcotest.(check (float 1e-18)) "hist mean" 2e-6 h.Metrics.h_mean
+
+let test_metrics_kind_clash () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Alcotest.check_raises "counter used as gauge"
+    (Invalid_argument "Metrics: x is a counter, used as a gauge") (fun () ->
+      Metrics.set m "x" 1.)
+
+let test_metrics_json_valid () =
+  let m = Metrics.create () in
+  Metrics.incr m "weird \"name\"\n";
+  Metrics.observe m "h" 0.5;
+  Metrics.set m "g" 0.25;
+  match parse_json (Obs_json.to_string (Metrics.to_json m)) with
+  | JObj [ ("metrics", JList entries) ] ->
+    Alcotest.(check int) "three entries" 3 (List.length entries);
+    List.iter
+      (fun e ->
+        match (field "name" e, field "kind" e) with
+        | Some (JStr _), Some (JStr k) ->
+          Alcotest.(check bool) "known kind" true
+            (List.mem k [ "counter"; "gauge"; "histogram" ])
+        | _ -> Alcotest.fail "entry missing name/kind")
+      entries
+  | _ -> Alcotest.fail "unexpected metrics JSON shape"
+
+(* ---- the instrumentation contract on a hand-computed graph ------------- *)
+
+let test_tiny_counts () =
+  let g, fwd = tiny () in
+  let obs, _, result = instrumented_run g in
+  let m = Instrument.metrics obs in
+  let fwd_name = (Graph.node g fwd).Graph.name in
+  (* 12 pixels + 3 EOL + 1 EOF, one fire per item. *)
+  Alcotest.(check int) "forward fires" 16
+    (Metrics.counter m (Printf.sprintf "kernel.%s.fires" fwd_name));
+  let svc =
+    Option.get
+      (Metrics.histogram m (Printf.sprintf "kernel.%s.service_s" fwd_name))
+  in
+  Alcotest.(check int) "one service sample per fire" 16 svc.Metrics.h_count;
+  (* Both channels carry the same 16 items end to end. *)
+  List.iter
+    (fun (c : Graph.channel) ->
+      let id = c.Graph.chan_id in
+      Alcotest.(check int)
+        (Printf.sprintf "chan %d pushes" id)
+        16
+        (Metrics.counter m (Printf.sprintf "chan.%d.pushes" id));
+      Alcotest.(check int)
+        (Printf.sprintf "chan %d pops" id)
+        16
+        (Metrics.counter m (Printf.sprintf "chan.%d.pops" id)))
+    (Graph.channels g);
+  (* Cross-check against the simulator's own accounting. *)
+  List.iter
+    (fun (id, (ns : Sim.node_stats)) ->
+      let name = (Graph.node g id).Graph.name in
+      if Mapping.is_on_chip (Graph.node g id) then
+        Alcotest.(check int)
+          (Printf.sprintf "%s fires agree" name)
+          ns.Sim.node_fires
+          (Metrics.counter m (Printf.sprintf "kernel.%s.fires" name)))
+    result.Sim.node_stats;
+  (* PE accounting: one on-chip kernel on PE 0. *)
+  Alcotest.(check int) "pe fires" 16 (Metrics.counter m "pe.0.fires");
+  let busy = Option.get (Metrics.gauge m "pe.0.busy_s") in
+  let idle = Option.get (Metrics.gauge m "pe.0.idle_s") in
+  Alcotest.(check (float 1e-9)) "busy+idle = duration"
+    result.Sim.duration_s (busy +. idle);
+  Alcotest.(check (float 1e-9)) "util = busy/duration"
+    (busy /. result.Sim.duration_s)
+    (Option.get (Metrics.gauge m "pe.0.util"));
+  Alcotest.(check (float 0.)) "no stalls" 0.
+    (float_of_int (Metrics.counter m "sim.input_stalls"));
+  Alcotest.(check (float 0.)) "nothing leftover" 0.
+    (float_of_int (Metrics.counter m "sim.leftover_items"))
+
+let test_tiny_series_monotone () =
+  let g, _ = tiny () in
+  let obs, _, _ = instrumented_run g in
+  let series = Instrument.channel_series obs in
+  Alcotest.(check int) "two channels" 2 (List.length series);
+  List.iter
+    (fun (id, samples) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chan %d has samples" id)
+        true (samples <> []);
+      (* 16 pushes + 16 pops. *)
+      Alcotest.(check int)
+        (Printf.sprintf "chan %d sample count" id)
+        32 (List.length samples);
+      let rec monotone = function
+        | (t0, _) :: ((t1, _) :: _ as rest) ->
+          t0 <= t1 +. 1e-15 && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "chan %d series monotone" id)
+        true (monotone samples);
+      List.iter
+        (fun (_, depth) ->
+          Alcotest.(check bool) "depth in range" true (depth >= 0))
+        samples)
+    series
+
+let test_sample_limit () =
+  let g, _ = tiny () in
+  let obs, _, _ = instrumented_run ~sample_limit:5 g in
+  List.iter
+    (fun (id, samples) ->
+      Alcotest.(check int)
+        (Printf.sprintf "chan %d capped" id)
+        5 (List.length samples);
+      Alcotest.(check int)
+        (Printf.sprintf "chan %d drop count" id)
+        27
+        (Metrics.counter (Instrument.metrics obs)
+           (Printf.sprintf "chan.%d.samples_dropped" id)))
+    (Instrument.channel_series obs)
+
+(* ---- observers are passive --------------------------------------------- *)
+
+let test_differential_observer_free () =
+  let compiled = compiled_pipeline () in
+  let g = compiled.Pipeline.graph in
+  let machine = compiled.Pipeline.machine in
+  let run_with_obs () =
+    let mapping = Pipeline.mapping_greedy compiled in
+    let obs = Instrument.create ~graph:g () in
+    let result =
+      Sim.run
+        ~observer:(Instrument.observer obs)
+        ~channel_observer:(Instrument.channel_observer obs)
+        ~graph:g ~mapping ~machine ()
+    in
+    Instrument.finalize obs ~result;
+    result
+  in
+  let run_bare () =
+    let mapping = Pipeline.mapping_greedy compiled in
+    Sim.run ~graph:g ~mapping ~machine ()
+  in
+  let a = run_with_obs () and b = run_bare () in
+  Alcotest.(check (float 0.)) "duration identical" b.Sim.duration_s
+    a.Sim.duration_s;
+  Alcotest.(check int) "stalls identical" b.Sim.input_stalls a.Sim.input_stalls;
+  Alcotest.(check int) "late identical" b.Sim.late_emissions a.Sim.late_emissions;
+  Alcotest.(check int) "leftover identical" b.Sim.leftover_items
+    a.Sim.leftover_items;
+  Alcotest.(check int) "PE count identical" (Array.length b.Sim.procs)
+    (Array.length a.Sim.procs);
+  Array.iteri
+    (fun i (pb : Sim.proc_stats) ->
+      let pa = a.Sim.procs.(i) in
+      Alcotest.(check int) "fires identical" pb.Sim.fires pa.Sim.fires;
+      Alcotest.(check (float 0.)) "run_s identical" pb.Sim.run_s pa.Sim.run_s;
+      Alcotest.(check (float 0.)) "read_s identical" pb.Sim.read_s pa.Sim.read_s;
+      Alcotest.(check (float 0.)) "write_s identical" pb.Sim.write_s
+        pa.Sim.write_s)
+    b.Sim.procs;
+  Alcotest.(check bool) "depths identical" true
+    (List.sort compare a.Sim.channel_depths
+    = List.sort compare b.Sim.channel_depths);
+  Alcotest.(check bool) "node stats identical" true
+    (List.sort compare a.Sim.node_stats = List.sort compare b.Sim.node_stats)
+
+(* ---- Chrome trace export ----------------------------------------------- *)
+
+let test_chrome_trace_schema () =
+  let compiled = compiled_pipeline () in
+  let g = compiled.Pipeline.graph in
+  let obs = Instrument.create ~graph:g () in
+  let trace, trace_observer = Trace.recorder () in
+  let observer ~time_s ~proc ~node ~method_name ~service_s =
+    trace_observer ~time_s ~proc ~node ~method_name ~service_s;
+    Instrument.observer obs ~time_s ~proc ~node ~method_name ~service_s
+  in
+  let result =
+    Sim.run ~observer
+      ~channel_observer:(Instrument.channel_observer obs)
+      ~graph:g
+      ~mapping:(Pipeline.mapping_greedy compiled)
+      ~machine:compiled.Pipeline.machine ()
+  in
+  Instrument.finalize obs ~result;
+  let doc =
+    Chrome_trace.of_run ~compile_passes:compiled.Pipeline.passes
+      ~instrument:obs ~graph:g ~trace ()
+  in
+  let parsed = parse_json (Obs_json.to_string doc) in
+  let events =
+    match field "traceEvents" parsed with
+    | Some (JList evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  (* Timestamps must be monotone over the whole file. *)
+  let ts_values =
+    List.filter_map
+      (fun e -> match field "ts" e with Some (JNum f) -> Some f | _ -> None)
+      events
+  in
+  Alcotest.(check int) "every event has a ts" (List.length events)
+    (List.length ts_values);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone timestamps" true (monotone ts_values);
+  (* One named thread (track) per PE of the run. *)
+  let thread_names =
+    List.filter
+      (fun e ->
+        field "name" e = Some (JStr "thread_name")
+        && field "ph" e = Some (JStr "M")
+        && field "pid" e = Some (JNum 0.))
+      events
+  in
+  Alcotest.(check int) "one thread_name per PE"
+    (Array.length result.Sim.procs)
+    (List.length thread_names);
+  (* Firing slices land on PE tracks; at least one counter track exists. *)
+  let xs =
+    List.filter
+      (fun e ->
+        field "ph" e = Some (JStr "X") && field "pid" e = Some (JNum 0.))
+      events
+  in
+  Alcotest.(check bool) "has firing slices" true (xs <> []);
+  List.iter
+    (fun e ->
+      match field "tid" e with
+      | Some (JNum tid) ->
+        Alcotest.(check bool) "tid is a PE" true
+          (tid >= 0. && tid < float_of_int (Array.length result.Sim.procs))
+      | _ -> Alcotest.fail "X event without tid")
+    xs;
+  let counters = List.filter (fun e -> field "ph" e = Some (JStr "C")) events in
+  Alcotest.(check bool) "has counter events" true (counters <> []);
+  (* Compile passes ride along on their own process. *)
+  let passes =
+    List.filter
+      (fun e ->
+        field "ph" e = Some (JStr "X") && field "pid" e = Some (JNum 1.))
+      events
+  in
+  Alcotest.(check int) "one slice per compile pass"
+    (List.length compiled.Pipeline.passes)
+    (List.length passes)
+
+let test_json_escaping_roundtrip () =
+  let s = "a\"b\\c\nd\te\r\x01f" in
+  match parse_json (Obs_json.to_string (Obs_json.Str s)) with
+  | JStr back -> Alcotest.(check string) "string round-trips" s back
+  | _ -> Alcotest.fail "expected string"
+
+(* ---- compile pass timings ---------------------------------------------- *)
+
+let test_pass_timings () =
+  let compiled = compiled_pipeline () in
+  let names = List.map (fun p -> p.Pipeline.pass) compiled.Pipeline.passes in
+  Alcotest.(check (list string)) "passes in order"
+    [
+      "validate"; "analyze-pre"; "align"; "buffering"; "parallelize";
+      "analyze-post"; "check";
+    ]
+    names;
+  List.iter
+    (fun (p : Pipeline.pass_timing) ->
+      Alcotest.(check bool) "wall time non-negative" true (p.Pipeline.wall_s >= 0.);
+      Alcotest.(check bool) "node counts sane" true
+        (p.Pipeline.nodes_after >= p.Pipeline.nodes_before))
+    compiled.Pipeline.passes;
+  let par =
+    List.find (fun p -> p.Pipeline.pass = "parallelize") compiled.Pipeline.passes
+  in
+  Alcotest.(check bool) "parallelize grows the graph" true
+    (par.Pipeline.nodes_after > par.Pipeline.nodes_before)
+
+let suite =
+  [
+    Alcotest.test_case "metrics: counters, gauges, histograms" `Quick
+      test_metrics_basics;
+    Alcotest.test_case "metrics: kind clash fails loudly" `Quick
+      test_metrics_kind_clash;
+    Alcotest.test_case "metrics: JSON snapshot valid" `Quick
+      test_metrics_json_valid;
+    Alcotest.test_case "instrument: hand-computed counts (tiny graph)" `Quick
+      test_tiny_counts;
+    Alcotest.test_case "instrument: occupancy series monotone" `Quick
+      test_tiny_series_monotone;
+    Alcotest.test_case "instrument: sample limit drops, counts" `Quick
+      test_sample_limit;
+    Alcotest.test_case "observers do not perturb the simulation" `Quick
+      test_differential_observer_free;
+    Alcotest.test_case "chrome trace: schema, tracks, monotone ts" `Quick
+      test_chrome_trace_schema;
+    Alcotest.test_case "json: escaping round-trips" `Quick
+      test_json_escaping_roundtrip;
+    Alcotest.test_case "pipeline: pass timings recorded" `Quick
+      test_pass_timings;
+  ]
