@@ -1,0 +1,149 @@
+(* Simulator throughput benchmark.
+
+   Times full simulation runs (compile excluded) of the image-pipeline
+   and histogram applications under both mappings, on the event-driven
+   engine and the preserved polling reference, and writes the numbers to
+   BENCH_SIM.json so throughput is tracked across PRs. docs/PERFORMANCE.md
+   explains how to read the output.
+
+   Run with:            dune exec bench/sim_bench.exe
+   Fewer repetitions:   BENCH_SIM_REPEATS=1 dune exec bench/sim_bench.exe
+   Different output:    BENCH_SIM_OUT=/tmp/out.json dune exec bench/sim_bench.exe *)
+
+open Block_parallel
+
+type fixture = {
+  name : string;
+  machine : Machine.t;
+  n_frames : int;
+  build : unit -> App.instance;
+}
+
+let fixtures =
+  [
+    {
+      name = "image-pipeline-24x18";
+      machine = Machine.default;
+      n_frames = 2;
+      build =
+        (fun () ->
+          Apps.Image_pipeline.v ~frame:(Size.v 24 18) ~rate:(Rate.hz 30.)
+            ~n_frames:2 ());
+    };
+    {
+      name = "image-pipeline-48x36";
+      machine = Machine.default;
+      n_frames = 2;
+      build =
+        (fun () ->
+          Apps.Image_pipeline.v ~frame:(Size.v 48 36) ~rate:(Rate.hz 20.)
+            ~n_frames:2 ());
+    };
+    {
+      name = "histogram-24x18";
+      machine = Machine.default;
+      n_frames = 2;
+      build =
+        (fun () ->
+          Apps.Histogram_app.v ~frame:(Size.v 24 18) ~rate:(Rate.hz 40.)
+            ~n_frames:2 ());
+    };
+  ]
+
+let repeats =
+  match Sys.getenv_opt "BENCH_SIM_REPEATS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
+  | None -> 5
+
+(* One timed engine run over [repeats] fresh instances (behaviour state
+   is per-instance, so every repetition simulates from scratch). Returns
+   wall seconds plus the totals of the last run. *)
+let time_engine fx ~greedy ~engine =
+  let prepared =
+    List.init repeats (fun _ ->
+        let inst = fx.build () in
+        let compiled = Pipeline.compile ~machine:fx.machine inst.App.graph in
+        let mapping =
+          if greedy then Pipeline.mapping_greedy compiled
+          else Pipeline.mapping_one_to_one compiled
+        in
+        (compiled.Pipeline.graph, mapping))
+  in
+  let t0 = Unix.gettimeofday () in
+  let last =
+    List.fold_left
+      (fun _ (graph, mapping) ->
+        Some (engine ~graph ~mapping ~machine:fx.machine ()))
+      None prepared
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  match last with
+  | Some (r : Sim.result) -> (wall, r)
+  | None -> assert false
+
+let total_fires (r : Sim.result) =
+  List.fold_left (fun acc (_, ns) -> acc + ns.Sim.node_fires) 0 r.Sim.node_stats
+
+let run_fixture fx ~greedy =
+  let wall, r =
+    time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
+        Sim.run ~graph ~mapping ~machine ())
+  in
+  let ref_wall, ref_r =
+    time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
+        Sim_reference.run ~graph ~mapping ~machine ())
+  in
+  if r.Sim.leftover_items <> 0 || ref_r.Sim.leftover_items <> 0 then
+    failwith (fx.name ^ ": benchmark fixture did not drain");
+  let per_run = wall /. float_of_int repeats in
+  let rate denom = float_of_int (denom * repeats) /. wall in
+  let fields =
+    [
+      ("fixture", Obs_json.Str fx.name);
+      ("mapping", Obs_json.Str (if greedy then "greedy" else "one-to-one"));
+      ("repeats", Obs_json.Int repeats);
+      ("frames", Obs_json.Int fx.n_frames);
+      ("events", Obs_json.Int r.Sim.events_processed);
+      ("fires", Obs_json.Int (total_fires r));
+      ("sim_duration_s", Obs_json.float r.Sim.duration_s);
+      ("wall_s_per_run", Obs_json.float per_run);
+      ("events_per_s", Obs_json.float (rate r.Sim.events_processed));
+      ("fires_per_s", Obs_json.float (rate (total_fires r)));
+      ("frames_per_s", Obs_json.float (rate fx.n_frames));
+      ("reference_wall_s_per_run",
+       Obs_json.float (ref_wall /. float_of_int repeats));
+      ("speedup_vs_reference", Obs_json.float (ref_wall /. wall));
+    ]
+  in
+  Printf.printf "%-24s %-10s %8.2f ms/run  %10.0f events/s  %8.1f frames/s  %5.2fx vs reference\n%!"
+    fx.name
+    (if greedy then "greedy" else "one-to-one")
+    (per_run *. 1e3)
+    (rate r.Sim.events_processed)
+    (rate fx.n_frames)
+    (ref_wall /. wall);
+  Obs_json.Obj fields
+
+let () =
+  print_endline "==== simulator throughput ====";
+  let rows =
+    List.concat_map
+      (fun fx ->
+        let one_to_one = run_fixture fx ~greedy:false in
+        let greedy = run_fixture fx ~greedy:true in
+        [ one_to_one; greedy ])
+      fixtures
+  in
+  let out =
+    Obs_json.Obj
+      [
+        ("schema", Obs_json.Str "bench-sim/v1");
+        ("repeats", Obs_json.Int repeats);
+        ("fixtures", Obs_json.List rows);
+      ]
+  in
+  let path =
+    Option.value (Sys.getenv_opt "BENCH_SIM_OUT") ~default:"BENCH_SIM.json"
+  in
+  Obs_json.write_file ~path out;
+  Printf.printf "wrote %s\n" path

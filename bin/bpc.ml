@@ -210,6 +210,7 @@ let simulate_cmd =
       Bp_obs.Instrument.observer obs ~time_s ~proc ~node ~method_name
         ~service_s
     in
+    let wall_t0 = Unix.gettimeofday () in
     let result =
       let mapping =
         if greedy then Pipeline.mapping_greedy compiled
@@ -220,8 +221,13 @@ let simulate_cmd =
         ~graph:compiled.Pipeline.graph ~mapping
         ~machine:compiled.Pipeline.machine ()
     in
+    let wall_s = Unix.gettimeofday () -. wall_t0 in
     Bp_obs.Instrument.finalize obs ~result;
     Format.printf "%a@." Sim.pp_result result;
+    Format.printf "wall: %.1f ms, %d events (%.0f events/s)@."
+      (wall_s *. 1e3) result.Sim.events_processed
+      (if wall_s > 0. then float_of_int result.Sim.events_processed /. wall_s
+       else 0.);
     if gantt then print_string (Bp_sim.Trace.gantt recorded);
     (match trace with
     | Some path ->

@@ -64,6 +64,8 @@ module Rate_search = Bp_compiler.Rate_search
 
 module Mapping = Bp_sim.Mapping
 module Sim = Bp_sim.Sim
+module Sim_reference = Bp_sim.Sim_reference
+module Ring = Bp_sim.Ring
 module Trace = Bp_sim.Trace
 module Energy = Bp_sim.Energy
 module Placement = Bp_placement.Placement

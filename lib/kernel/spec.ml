@@ -21,6 +21,7 @@ type t = {
   state_words : int;
   token_budgets : Bp_token.Token.Bound.budget list;
   parallelization : parallelization;
+  emission_burst : int;
   make_behaviour : unit -> Behaviour.t;
 }
 
@@ -82,9 +83,10 @@ let validate t =
   t
 
 let v ?(role = Compute) ?(state_words = 0) ?(token_budgets = [])
-    ?(parallelization = Data_parallel) ~class_name ~inputs ~outputs ~methods
-    ~make_behaviour () =
+    ?(parallelization = Data_parallel) ?(emission_burst = 1) ~class_name
+    ~inputs ~outputs ~methods ~make_behaviour () =
   if state_words < 0 then Err.invalidf "negative state_words";
+  if emission_burst < 1 then Err.invalidf "emission_burst must be positive";
   (* Every user-token trigger must come with a rate bound. *)
   List.iter
     (fun m ->
@@ -113,6 +115,7 @@ let v ?(role = Compute) ?(state_words = 0) ?(token_budgets = [])
       state_words;
       token_budgets;
       parallelization;
+      emission_burst;
       make_behaviour;
     }
 

@@ -36,6 +36,17 @@ type t = {
           tokens provided they bound the rate, so the compiler can budget
           the handlers' cycles). *)
   parallelization : parallelization;
+  emission_burst : int;
+      (** The most items one firing may push onto a single output port
+          before re-checking space — the guard a self-driven emitter
+          (source, const source) evaluates before firing. The scheduler
+          uses it for an exact blocked-vs-exhausted test: an emitter whose
+          [try_step] declines while some output channel has fewer than
+          [emission_burst] free slots is blocked on space (and must be
+          retried once space frees); one that declines with the burst
+          available everywhere is exhausted. Defaults to 1; the streaming
+          {!Bp_kernels.Source} declares 3 (pixel + end-of-line +
+          end-of-frame at a frame corner). *)
   make_behaviour : unit -> Behaviour.t;
       (** Allocates a fresh runtime instance with fresh private state. *)
 }
@@ -58,6 +69,7 @@ val v :
   ?state_words:int ->
   ?token_budgets:Bp_token.Token.Bound.budget list ->
   ?parallelization:parallelization ->
+  ?emission_burst:int ->
   class_name:string ->
   inputs:Port.t list ->
   outputs:Port.t list ->

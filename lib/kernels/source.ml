@@ -5,6 +5,14 @@ module Token = Bp_token.Token
 
 let emissions_per_frame ~frame = Size.area frame
 
+(* The worst-case burst of one scheduled emission: the last pixel of a
+   frame is followed by its end-of-line and end-of-frame tokens in the
+   same firing. The behaviour requires this much space on every emission
+   (a conservative, position-independent guard, so an emission never
+   half-completes), and declares it in the spec so the simulator can tell
+   a space-blocked source from an exhausted one exactly. *)
+let emission_burst = 3
+
 let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
   List.iter
     (fun img ->
@@ -21,7 +29,7 @@ let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
       | [] -> None
       | img :: rest ->
         (* One emission may carry pixel + EOL + EOF. *)
-        if io.space "out" < 3 then None
+        if io.space "out" < emission_burst then None
         else begin
           let pixel =
             Image.init Size.one (fun ~x:_ ~y:_ -> Image.get img ~x:!x ~y:!y)
@@ -48,7 +56,7 @@ let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
     in
     { Behaviour.try_step }
   in
-  Spec.v ~role:Spec.Source ~class_name ~inputs:[]
+  Spec.v ~role:Spec.Source ~class_name ~emission_burst ~inputs:[]
     ~outputs:[ Port.output "out" Window.pixel ]
     ~methods:[] ~make_behaviour ()
 

@@ -28,3 +28,10 @@ val const :
 val emissions_per_frame : frame:Bp_geometry.Size.t -> int
 (** Scheduled emission slots per frame (= pixel count; tokens ride along
     with the pixel they follow). *)
+
+val emission_burst : int
+(** The worst-case items one emission pushes (pixel + end-of-line +
+    end-of-frame at a frame corner). A source only fires with this much
+    space on its output, and declares the same bound as
+    [Spec.emission_burst] so the simulator's blocked-vs-exhausted test is
+    exact rather than a duplicated magic number. *)

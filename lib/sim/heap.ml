@@ -1,7 +1,13 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Slots distinguish live entries from vacated ones so [pop] can clear the
+   cell it vacates: leaving the old entry behind would pin its value (an
+   event record, and transitively simulated items) until a later push
+   happens to overwrite that index. [Empty] is a constant constructor, so
+   clearing allocates nothing, and the inline record keeps a live entry to
+   a single heap block, as before. *)
+type 'a slot = Empty | Entry of { time : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a slot array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -10,7 +16,11 @@ let create () = { data = [||]; size = 0; next_seq = 0 }
 let is_empty t = t.size = 0
 let size t = t.size
 
-let less a b = a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
+let less a b =
+  match (a, b) with
+  | Entry a, Entry b ->
+    a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
+  | (Empty, _ | _, Empty) -> assert false (* never compared beyond [size] *)
 
 let swap t i j =
   let tmp = t.data.(i) in
@@ -37,11 +47,11 @@ let rec sift_down t i =
   end
 
 let push t ~time value =
-  let entry = { time; seq = t.next_seq; value } in
+  let entry = Entry { time; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
   if t.size = Array.length t.data then begin
     let cap = max 16 (2 * Array.length t.data) in
-    let data = Array.make cap entry in
+    let data = Array.make cap Empty in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end;
@@ -51,14 +61,19 @@ let push t ~time value =
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.time, top.value)
-  end
+  else
+    match t.data.(0) with
+    | Empty -> assert false
+    | Entry { time; value; _ } ->
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        t.data.(t.size) <- Empty;
+        sift_down t 0
+      end
+      else t.data.(0) <- Empty;
+      Some (time, value)
 
-let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+let peek_time t =
+  if t.size = 0 then None
+  else match t.data.(0) with Empty -> assert false | Entry e -> Some e.time

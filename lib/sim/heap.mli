@@ -1,7 +1,10 @@
 (** A minimal binary min-heap keyed by (time, sequence).
 
     The event queue of the simulator. Ties on time break by insertion
-    sequence, making runs deterministic. *)
+    sequence, making runs deterministic. [pop] clears the array slot it
+    vacates, so the heap never retains a reference to an entry after
+    returning it (popped events — and whatever simulated data they point
+    to — are garbage as soon as the caller drops them). *)
 
 type 'a t
 

@@ -29,6 +29,7 @@ type result = {
   channel_depths : (int * int) list;  (* channel id -> max occupancy *)
   leftover_channels : (int * int * Item.t) list;
   leftover_items : int;
+  events_processed : int;
   timed_out : bool;
 }
 
@@ -39,39 +40,62 @@ type placement_model = {
 
 type channel_event = Ch_push | Ch_pop | Ch_block
 
-(* ---- runtime structures ---------------------------------------------- *)
+(* ---- runtime structures ----------------------------------------------
+
+   The engine is event-driven: instead of rescanning every processor to a
+   fixpoint after each event (the original engine, preserved in
+   {!Sim_reference}), each channel knows the two parties it connects, and
+   a push, pop, or processor-release marks exactly the parties whose
+   readiness it may have changed. Every [try_step] is failure-pure — a
+   declined firing mutates nothing — so a processor whose kernels saw no
+   adjacent-channel change since their last declined attempt would
+   deterministically decline again; skipping it is exact, not an
+   approximation. The equivalence is held down by the suite-wide
+   differential test against {!Sim_reference}. *)
 
 type chan_rt = {
   id : int;
-  queue : Item.t Queue.t;
-  capacity : int;
+  ring : Item.t Ring.t;
   mutable hops : int;  (* mesh distance between producer and consumer *)
   mutable max_depth : int;
+  mutable producer : party;  (* woken by Ch_pop: space freed *)
+  mutable consumer : party;  (* woken by Ch_push: data available *)
 }
 
-type node_rt = {
+(* Who reacts when a channel changes. Wired after construction, because
+   channels and node runtimes refer to each other. *)
+and party =
+  | P_none
+  | P_proc of int  (* an on-chip kernel: mark its processor ready *)
+  | P_sink of node_rt  (* an off-chip sink: queue it for draining *)
+  | P_emit of emitter_rt  (* a self-driven emitter: retry if blocked *)
+
+and node_rt = {
   node : Graph.node;
   behaviour : Behaviour.t;
-  in_chans : (string * chan_rt) list;
-  out_chans : (string * chan_rt list) list;
+  in_chans : (string * chan_rt) array;  (* bound once at setup *)
+  out_chans : (string * chan_rt array) array;
   proc : int option;
+  mutable io : Behaviour.io;  (* built once; counters reset per firing *)
+  mutable cw_read : int;  (* words read by the current firing *)
+  mutable cw_write : int;
+  mutable cw_hop : int;
+  mutable s_marked : bool;  (* sinks only: queued for draining *)
   mutable rt_fires : int;
   mutable rt_busy : float;
 }
 
-type proc_rt = {
-  mutable busy_until : float;
-  mutable cursor : int;  (* round-robin position among its kernels *)
-  mutable last_fired : int;  (* kernel index of the previous firing *)
-  kernels : node_rt array;
-  mutable p_run : float;
-  mutable p_read : float;
-  mutable p_write : float;
-  mutable p_fires : int;
+and emitter_rt = {
+  em : node_rt;
+  em_burst : int;  (* Spec.emission_burst: space one firing may need *)
+  em_kind : em_kind;
+  mutable em_blocked : bool;  (* waiting for space; woken by Ch_pop *)
+  mutable em_woken : bool;
 }
 
-type source_rt = {
-  src : node_rt;
+and em_kind = Em_const | Em_timed of timed_rt
+
+and timed_rt = {
   period : float;
   mutable next_due : float;
   mutable stalls : int;
@@ -79,64 +103,35 @@ type source_rt = {
   mutable max_late : float;
 }
 
-type event = Source_slot of source_rt | Const_emit of node_rt | Proc_free of int
+type proc_rt = {
+  mutable busy_until : float;
+  mutable cursor : int;  (* round-robin position among its kernels *)
+  mutable last_fired : int;  (* kernel index of the previous firing *)
+  kernels : node_rt array;
+  mutable ready : bool;  (* marked for the next dispatch sweep *)
+  mutable p_run : float;
+  mutable p_read : float;
+  mutable p_write : float;
+  mutable p_fires : int;
+}
 
-(* ---- io construction -------------------------------------------------- *)
+type event = Source_slot of emitter_rt | Const_emit of emitter_rt
+           | Proc_free of int
 
-let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop
-    ~on_chan =
-  let find_in port =
-    match List.assoc_opt port rt.in_chans with
-    | Some c -> c
-    | None -> Err.graphf "%s: no input channel %S" rt.node.Graph.name port
+(* Channel rings hold plain [Item.t]; popped slots are overwritten with
+   this throwaway control item so the ring never pins live pixel data. *)
+let dummy_item = Item.ctl (Token.eof (-1))
+
+let find_port what (rt : node_rt) (a : (string * 'a) array) port =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then
+      Err.graphf "%s: no %s channel %S" rt.node.Graph.name what port
+    else
+      let name, c = a.(i) in
+      if String.equal name port then c else go (i + 1)
   in
-  let find_outs port =
-    match List.assoc_opt port rt.out_chans with
-    | Some cs -> cs
-    | None -> Err.graphf "%s: no output channel %S" rt.node.Graph.name port
-  in
-  {
-    Behaviour.peek =
-      (fun port ->
-        let c = find_in port in
-        if Queue.is_empty c.queue then None else Some (Queue.peek c.queue));
-    pop =
-      (fun port ->
-        let c = find_in port in
-        if Queue.is_empty c.queue then
-          Err.graphf "%s: pop from empty input %S" rt.node.Graph.name port;
-        let item = Queue.pop c.queue in
-        read_words := !read_words + Item.words item;
-        on_pop item;
-        on_chan c Ch_pop;
-        item);
-    push =
-      (fun port item ->
-        let cs = find_outs port in
-        List.iter
-          (fun c ->
-            if Queue.length c.queue >= c.capacity then
-              Err.graphf "%s: push to full channel on %S" rt.node.Graph.name
-                port;
-            Queue.push item c.queue;
-            if Queue.length c.queue > c.max_depth then
-              c.max_depth <- Queue.length c.queue;
-            write_words := !write_words + Item.words item;
-            hop_words := !hop_words + (c.hops * Item.words item);
-            on_chan c Ch_push)
-          cs);
-    space =
-      (fun port ->
-        match find_outs port with
-        | [] -> max_int
-        | cs ->
-          List.fold_left
-            (fun acc c ->
-              let free = c.capacity - Queue.length c.queue in
-              if free <= 0 then on_chan c Ch_block;
-              min acc free)
-            max_int cs);
-  }
+  go 0
 
 (* ---- main engine ------------------------------------------------------ *)
 
@@ -147,43 +142,63 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     ~graph:g ~mapping ~machine () =
   Graph.validate g;
   let pe = machine.Machine.pe in
-  (* Channels. *)
-  let chans = Hashtbl.create 64 in
+  let now = ref 0. in
+  (* Channels: preallocated rings, indexed by a plain array over a dense
+     remap of channel ids (graph ids are small ints but need not be
+     contiguous after transforms). *)
+  let graph_chans = Graph.channels g in
+  let chan_tbl = Hashtbl.create 64 in
   List.iter
     (fun (c : Graph.channel) ->
-      Hashtbl.replace chans c.Graph.chan_id
+      Hashtbl.replace chan_tbl c.Graph.chan_id
         {
           id = c.Graph.chan_id;
-          queue = Queue.create ();
-          capacity = c.Graph.capacity;
+          ring = Ring.create ~capacity:c.Graph.capacity ~dummy:dummy_item;
           hops = 0;
           max_depth = 0;
+          producer = P_none;
+          consumer = P_none;
         })
-    (Graph.channels g);
-  let chan_rt id = Hashtbl.find chans id in
-  (* Node runtimes. *)
+    graph_chans;
+  let chan_rt id = Hashtbl.find chan_tbl id in
+  let all_chans =
+    (* Deterministic order for the result lists. *)
+    List.map (fun (c : Graph.channel) -> chan_rt c.Graph.chan_id)
+      (List.sort
+         (fun (a : Graph.channel) b -> compare a.Graph.chan_id b.Graph.chan_id)
+         graph_chans)
+  in
+  (* Node runtimes, with port->channel bindings resolved once. *)
   let sink_eof_times : (Graph.node_id, float list ref) Hashtbl.t =
     Hashtbl.create 8
   in
   let sink_first_data : (Graph.node_id, float) Hashtbl.t = Hashtbl.create 8 in
-  let now = ref 0. in
+  let dummy_io =
+    let fail _ = assert false in
+    { Behaviour.peek = fail; pop = fail; push = (fun _ _ -> assert false);
+      space = fail }
+  in
   let node_rts = Hashtbl.create 64 in
   List.iter
     (fun (n : Graph.node) ->
       let in_chans =
-        List.map
-          (fun (c : Graph.channel) ->
-            (c.Graph.dst.Graph.port, chan_rt c.Graph.chan_id))
-          (Graph.in_channels g n.Graph.id)
+        Array.of_list
+          (List.map
+             (fun (c : Graph.channel) ->
+               (c.Graph.dst.Graph.port, chan_rt c.Graph.chan_id))
+             (Graph.in_channels g n.Graph.id))
       in
       let out_chans =
-        List.map
-          (fun (p : Bp_kernel.Port.t) ->
-            ( p.Bp_kernel.Port.name,
-              List.map
-                (fun (c : Graph.channel) -> chan_rt c.Graph.chan_id)
-                (Graph.out_channels g n.Graph.id ~port:p.Bp_kernel.Port.name ()) ))
-          n.Graph.spec.Spec.outputs
+        Array.of_list
+          (List.map
+             (fun (p : Bp_kernel.Port.t) ->
+               ( p.Bp_kernel.Port.name,
+                 Array.of_list
+                   (List.map
+                      (fun (c : Graph.channel) -> chan_rt c.Graph.chan_id)
+                      (Graph.out_channels g n.Graph.id
+                         ~port:p.Bp_kernel.Port.name ())) ))
+             n.Graph.spec.Spec.outputs)
       in
       let rt =
         {
@@ -192,6 +207,11 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           in_chans;
           out_chans;
           proc = Mapping.processor_of mapping n.Graph.id;
+          io = dummy_io;
+          cw_read = 0;
+          cw_write = 0;
+          cw_hop = 0;
+          s_marked = false;
           rt_fires = 0;
           rt_busy = 0.;
         }
@@ -216,7 +236,7 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         let x0, y0 = tile c.Graph.src.Graph.node in
         let x1, y1 = tile c.Graph.dst.Graph.node in
         (chan_rt c.Graph.chan_id).hops <- abs (x0 - x1) + abs (y0 - y1))
-      (Graph.channels g));
+      graph_chans);
   (* Processors. *)
   let procs =
     Array.init (Mapping.processors mapping) (fun p ->
@@ -226,63 +246,233 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           last_fired = -1;
           kernels =
             Array.of_list (List.map node_rt (Mapping.nodes_on mapping p));
+          ready = true;  (* every processor gets one initial scan *)
           p_run = 0.;
           p_read = 0.;
           p_write = 0.;
           p_fires = 0;
         })
   in
+  let nprocs = Array.length procs in
+  (* Emitters: sources and constant sources drive themselves off the
+     event queue rather than a processor. *)
+  let emitter_tbl : (Graph.node_id, emitter_rt) Hashtbl.t = Hashtbl.create 8 in
+  let emitters = ref [] in
+  let add_emitter (n : Graph.node) kind =
+    let e =
+      {
+        em = node_rt n.Graph.id;
+        em_burst = n.Graph.spec.Spec.emission_burst;
+        em_kind = kind;
+        em_blocked = false;
+        em_woken = false;
+      }
+    in
+    Hashtbl.replace emitter_tbl n.Graph.id e;
+    emitters := e :: !emitters;
+    e
+  in
+  let sinks =
+    Array.of_list
+      (List.map
+         (fun (n : Graph.node) ->
+           let rt = node_rt n.Graph.id in
+           rt.s_marked <- true;  (* one initial drain *)
+           rt)
+         (Graph.sinks g))
+  in
   let events : event Heap.t = Heap.create () in
-  (* One step of a node, with word accounting; returns service time split. *)
+  (* Constant sources emit before the first source slot so configuration
+     data (coefficients, bin bounds) is in place when pixel 0 arrives. *)
+  List.iter
+    (fun (n : Graph.node) ->
+      Heap.push events ~time:0. (Const_emit (add_emitter n Em_const)))
+    (Graph.const_sources g);
+  let timed_srcs =
+    List.map
+      (fun (n : Graph.node) ->
+        let frame, rate =
+          match n.Graph.meta with
+          | Graph.Source_meta { frame; rate } -> (frame, rate)
+          | _ -> Err.graphf "source %s lacks Source_meta" n.Graph.name
+        in
+        let period = Rate.element_period_s rate ~frame in
+        let t =
+          { period; next_due = 0.; stalls = 0; late = 0; max_late = 0. }
+        in
+        Heap.push events ~time:0. (Source_slot (add_emitter n (Em_timed t)));
+        t)
+      (Graph.sources g)
+  in
+  (* Wire each channel to the parties its changes can unblock. *)
+  List.iter
+    (fun (c : Graph.channel) ->
+      let rt = chan_rt c.Graph.chan_id in
+      let src = node_rt c.Graph.src.Graph.node in
+      rt.producer <-
+        (match Hashtbl.find_opt emitter_tbl c.Graph.src.Graph.node with
+        | Some e -> P_emit e
+        | None -> (
+          match src.proc with Some p -> P_proc p | None -> P_none));
+      let dst = node_rt c.Graph.dst.Graph.node in
+      rt.consumer <-
+        (if dst.node.Graph.spec.Spec.role = Spec.Sink then P_sink dst
+         else
+           match dst.proc with Some p -> P_proc p | None -> P_none))
+    graph_chans;
+  (* Ready-set marking. *)
+  let mark_producer (c : chan_rt) =
+    match c.producer with
+    | P_proc p -> procs.(p).ready <- true
+    | P_emit e -> if e.em_blocked then e.em_woken <- true
+    | P_sink _ | P_none -> ()
+  in
+  let mark_consumer (c : chan_rt) =
+    match c.consumer with
+    | P_proc p -> procs.(p).ready <- true
+    | P_sink s -> s.s_marked <- true
+    | P_emit _ | P_none -> ()
+  in
+  (* Per-node IO, built exactly once; the word counters live on the node
+     and are reset before each attempt. *)
   let hop_cycles_per_word =
     match placement with
     | Some p -> p.hop_cycles_per_word
     | None -> 0.
   in
-  let step_node (rt : node_rt) =
-    let read_words = ref 0 and write_words = ref 0 in
-    let hop_words = ref 0 in
-    let on_pop item =
-      match (rt.node.Graph.spec.Spec.role, item) with
-      | Spec.Sink, Item.Ctl tok when tok.Token.kind = Token.End_of_frame ->
-        let times = Hashtbl.find sink_eof_times rt.node.Graph.id in
-        times := !now :: !times
-      | Spec.Sink, Item.Data _ ->
-        if not (Hashtbl.mem sink_first_data rt.node.Graph.id) then
-          Hashtbl.replace sink_first_data rt.node.Graph.id !now
-      | _ -> ()
-    in
+  let build_io (rt : node_rt) =
+    let is_sink = rt.node.Graph.spec.Spec.role = Spec.Sink in
     let on_chan (c : chan_rt) ev =
       channel_observer ~time_s:!now ~chan_id:c.id ~node:rt.node ~proc:rt.proc
-        ~event:ev ~depth:(Queue.length c.queue)
+        ~event:ev ~depth:(Ring.length c.ring)
     in
-    let io = make_io rt ~read_words ~write_words ~hop_words ~on_pop ~on_chan in
-    match rt.behaviour.Behaviour.try_step io with
+    {
+      Behaviour.peek =
+        (fun port ->
+          let c = find_port "input" rt rt.in_chans port in
+          if Ring.is_empty c.ring then None else Some (Ring.peek c.ring));
+      pop =
+        (fun port ->
+          let c = find_port "input" rt rt.in_chans port in
+          if Ring.is_empty c.ring then
+            Err.graphf "%s: pop from empty input %S" rt.node.Graph.name port;
+          let item = Ring.pop c.ring in
+          rt.cw_read <- rt.cw_read + Item.words item;
+          if is_sink then begin
+            match item with
+            | Item.Ctl tok when tok.Token.kind = Token.End_of_frame ->
+              let times = Hashtbl.find sink_eof_times rt.node.Graph.id in
+              times := !now :: !times
+            | Item.Data _ ->
+              if not (Hashtbl.mem sink_first_data rt.node.Graph.id) then
+                Hashtbl.replace sink_first_data rt.node.Graph.id !now
+            | _ -> ()
+          end;
+          on_chan c Ch_pop;
+          mark_producer c;
+          item);
+      push =
+        (fun port item ->
+          let cs = find_port "output" rt rt.out_chans port in
+          Array.iter
+            (fun c ->
+              if Ring.is_full c.ring then
+                Err.graphf "%s: push to full channel on %S"
+                  rt.node.Graph.name port;
+              Ring.push c.ring item;
+              let depth = Ring.length c.ring in
+              if depth > c.max_depth then c.max_depth <- depth;
+              rt.cw_write <- rt.cw_write + Item.words item;
+              rt.cw_hop <- rt.cw_hop + (c.hops * Item.words item);
+              on_chan c Ch_push;
+              mark_consumer c)
+            cs);
+      space =
+        (fun port ->
+          let cs = find_port "output" rt rt.out_chans port in
+          if Array.length cs = 0 then max_int
+          else
+            Array.fold_left
+              (fun acc c ->
+                let free = Ring.space c.ring in
+                if free <= 0 then on_chan c Ch_block;
+                min acc free)
+              max_int cs);
+    }
+  in
+  Hashtbl.iter (fun _ rt -> rt.io <- build_io rt) node_rts;
+  (* One step of a node, with word accounting; returns service time split. *)
+  let step_node (rt : node_rt) =
+    rt.cw_read <- 0;
+    rt.cw_write <- 0;
+    rt.cw_hop <- 0;
+    match rt.behaviour.Behaviour.try_step rt.io with
     | None -> None
     | Some fired ->
-      let read_s = Machine.read_time_s pe ~words:!read_words in
+      let read_s = Machine.read_time_s pe ~words:rt.cw_read in
       let write_s =
-        Machine.write_time_s pe ~words:!write_words
-        +. (float_of_int !hop_words *. hop_cycles_per_word
+        Machine.write_time_s pe ~words:rt.cw_write
+        +. (float_of_int rt.cw_hop *. hop_cycles_per_word
            /. pe.Machine.freq_hz)
       in
       let run_s = float_of_int fired.Behaviour.cycles *. Machine.cycle_time_s pe in
       rt.rt_fires <- rt.rt_fires + 1;
       Some (fired, read_s, run_s, write_s)
   in
-  (* Sinks drain instantly (off-chip). *)
-  let drain_sinks () =
-    let progressed = ref true in
-    while !progressed do
-      progressed := false;
-      List.iter
-        (fun (n : Graph.node) ->
-          let rt = node_rt n.Graph.id in
-          match step_node rt with
-          | Some _ -> progressed := true
-          | None -> ())
-        (Graph.sinks g)
-    done
+  (* Marked sinks drain instantly (off-chip), to personal exhaustion;
+     sinks never push, so they cannot re-enable each other and one pass
+     reaches the same fixpoint as the reference engine's rescan. *)
+  let drain_ready_sinks progress =
+    Array.iter
+      (fun srt ->
+        if srt.s_marked then begin
+          srt.s_marked <- false;
+          let draining = ref true in
+          while !draining do
+            match step_node srt with
+            | Some _ -> progress := true
+            | None -> draining := false
+          done
+        end)
+      sinks
+  in
+  (* A successful timed emission: lateness bookkeeping and the next slot. *)
+  let fire_timed (t : timed_rt) e =
+    let lateness = !now -. t.next_due in
+    if lateness > 1e-12 then begin
+      t.late <- t.late + 1;
+      if lateness > t.max_late then t.max_late <- lateness
+    end;
+    t.next_due <- t.next_due +. t.period;
+    Heap.push events ~time:(Float.max t.next_due !now) (Source_slot e)
+  in
+  (* An emitter that declined is blocked exactly when some output channel
+     lacks space for its declared worst-case burst; otherwise it is
+     exhausted and never retried. *)
+  let emitter_blocked e =
+    Array.exists
+      (fun (_, cs) ->
+        Array.exists (fun c -> Ring.space c.ring < e.em_burst) cs)
+      e.em.out_chans
+  in
+  (* A pop freed space on a blocked emitter's channel: retry right now
+     (precise wake, replacing the reference engine's fixed retry polls). *)
+  let retry_woken_emitters progress =
+    List.iter
+      (fun e ->
+        if e.em_woken then begin
+          e.em_woken <- false;
+          if e.em_blocked then
+            match step_node e.em with
+            | Some _ ->
+              e.em_blocked <- false;
+              progress := true;
+              (match e.em_kind with
+              | Em_timed t -> fire_timed t e
+              | Em_const -> ())
+            | None -> if not (emitter_blocked e) then e.em_blocked <- false
+        end)
+      !emitters
   in
   (* Try to start one firing on an idle processor. *)
   let try_dispatch p =
@@ -322,46 +512,42 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
       attempt 0
     end
   in
-  let dispatch_all () =
-    let progressed = ref true in
-    while !progressed do
-      progressed := false;
-      drain_sinks ();
-      Array.iteri
-        (fun p _ -> if try_dispatch p then progressed := true)
-        procs
-    done;
-    drain_sinks ()
+  (* The dispatch loop: only marked parties are attempted. Processors are
+     swept in ascending index so marks set mid-sweep by a firing are seen
+     by later indices within the round, exactly as the reference engine's
+     full rescan sees them; anything marked at an earlier index waits for
+     the next round, as it would wait for the rescan's next round. *)
+  let dispatch () =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      drain_ready_sinks progress;
+      retry_woken_emitters progress;
+      for p = 0 to nprocs - 1 do
+        let proc = procs.(p) in
+        if proc.ready then begin
+          proc.ready <- false;
+          if try_dispatch p then progress := true
+        end
+      done
+    done
   in
-  (* Constant sources emit before the first source slot so configuration
-     data (coefficients, bin bounds) is in place when pixel 0 arrives. *)
-  List.iter
-    (fun (n : Graph.node) ->
-      Heap.push events ~time:0. (Const_emit (node_rt n.Graph.id)))
-    (Graph.const_sources g);
-  (* Sources. *)
-  let source_rts =
-    List.map
-      (fun (n : Graph.node) ->
-        let frame, rate =
-          match n.Graph.meta with
-          | Graph.Source_meta { frame; rate } -> (frame, rate)
-          | _ -> Err.graphf "source %s lacks Source_meta" n.Graph.name
-        in
-        let period = Rate.element_period_s rate ~frame in
-        let s =
-          {
-            src = node_rt n.Graph.id;
-            period;
-            next_due = 0.;
-            stalls = 0;
-            late = 0;
-            max_late = 0.;
-          }
-        in
-        Heap.push events ~time:0. (Source_slot s);
-        s)
-      (Graph.sources g)
+  (* Advancing simulated time is itself a readiness change: processors
+     whose busy interval ends inside (old now, new time] become idle
+     without any channel traffic, so mark them before handling the event
+     (their own [Proc_free] may still sit behind this event in the queue
+     when service times collide exactly). *)
+  let advance time =
+    if time > !now then begin
+      Array.iter
+        (fun proc ->
+          if
+            proc.busy_until > !now +. 1e-15
+            && proc.busy_until <= time +. 1e-15
+          then proc.ready <- true)
+        procs;
+      now := time
+    end
   in
   (* Main loop. *)
   let processed = ref 0 in
@@ -377,64 +563,47 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         continue := false
       end
       else begin
-        now := max !now time;
+        advance time;
+        now := Float.max !now time;
         (match ev with
-        | Proc_free _ -> ()
-        | Const_emit rt -> (
-          match step_node rt with
+        | Proc_free p -> procs.(p).ready <- true
+        | Const_emit e -> (
+          match step_node e.em with
           | Some _ -> ()
           | None ->
-            (* Only retry while the chunk is still pending (a const source
-               that already emitted returns None forever). *)
-            let has_space =
-              List.for_all
-                (fun (_, cs) ->
-                  List.for_all
-                    (fun c -> Queue.length c.queue < c.capacity)
-                    cs)
-                rt.out_chans
-            in
-            if not has_space then
-              Heap.push events ~time:(!now +. 1e-6) (Const_emit rt))
-        | Source_slot s -> (
-          match step_node s.src with
-          | Some _ ->
-            let lateness = !now -. s.next_due in
-            if lateness > 1e-12 then begin
-              s.late <- s.late + 1;
-              if lateness > s.max_late then s.max_late <- lateness
-            end;
-            s.next_due <- s.next_due +. s.period;
-            Heap.push events ~time:(Float.max s.next_due !now) (Source_slot s)
+            (* A const source that already emitted returns None forever;
+               only a space-starved one waits for a wake. *)
+            if emitter_blocked e then e.em_blocked <- true)
+        | Source_slot e -> (
+          match step_node e.em with
+          | Some _ -> (
+            match e.em_kind with
+            | Em_timed t -> fire_timed t e
+            | Em_const -> assert false)
           | None ->
-            (* Distinguish an exhausted source (no more frames: every output
-               has room yet nothing was emitted) from a blocked one. *)
-            let blocked =
-              List.exists
-                (fun (_, cs) ->
-                  List.exists
-                    (fun c -> c.capacity - Queue.length c.queue < 3)
-                    cs)
-                s.src.out_chans
-            in
-            if blocked then begin
-              (* The downstream channel is full at the scheduled time: the
-                 input would be dropped or stall the camera. *)
-              s.stalls <- s.stalls + 1;
-              Heap.push events ~time:(!now +. (s.period /. 4.)) (Source_slot s)
+            (* Distinguish an exhausted source (no more frames: every
+               output has burst room yet nothing was emitted) from a
+               blocked one. A blocked source counts one stall for the
+               missed slot and then waits for space — no retry polling;
+               the wake fires the pixel at the first instant it fits. *)
+            if emitter_blocked e then begin
+              (match e.em_kind with
+              | Em_timed t -> t.stalls <- t.stalls + 1
+              | Em_const -> ());
+              e.em_blocked <- true
             end));
-        dispatch_all ()
+        dispatch ()
       end
   done;
   let leftover_items =
-    Hashtbl.fold (fun _ c acc -> acc + Queue.length c.queue) chans 0
+    List.fold_left (fun acc c -> acc + Ring.length c.ring) 0 all_chans
   in
   let leftover_channels =
-    Hashtbl.fold
-      (fun id c acc ->
-        if Queue.is_empty c.queue then acc
-        else (id, Queue.length c.queue, Queue.peek c.queue) :: acc)
-      chans []
+    List.filter_map
+      (fun c ->
+        if Ring.is_empty c.ring then None
+        else Some (c.id, Ring.length c.ring, Ring.peek c.ring))
+      all_chans
   in
   let proc_stats =
     Array.map
@@ -445,18 +614,17 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
   {
     duration_s = !now;
     procs = proc_stats;
-    input_stalls = List.fold_left (fun a s -> a + s.stalls) 0 source_rts;
-    late_emissions = List.fold_left (fun a s -> a + s.late) 0 source_rts;
+    input_stalls = List.fold_left (fun a t -> a + t.stalls) 0 timed_srcs;
+    late_emissions = List.fold_left (fun a t -> a + t.late) 0 timed_srcs;
     max_input_lateness_s =
-      List.fold_left (fun a s -> Float.max a s.max_late) 0. source_rts;
+      List.fold_left (fun a t -> Float.max a t.max_late) 0. timed_srcs;
     sink_eofs =
       Hashtbl.fold
         (fun id times acc -> (id, List.rev !times) :: acc)
         sink_eof_times [];
     sink_first_data =
       Hashtbl.fold (fun id t acc -> (id, t) :: acc) sink_first_data [];
-    channel_depths =
-      Hashtbl.fold (fun id c acc -> (id, c.max_depth) :: acc) chans [];
+    channel_depths = List.map (fun c -> (c.id, c.max_depth)) all_chans;
     leftover_channels;
     node_stats =
       Hashtbl.fold
@@ -464,6 +632,7 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           (id, { node_fires = rt.rt_fires; node_busy_s = rt.rt_busy }) :: acc)
         node_rts [];
     leftover_items;
+    events_processed = !processed;
     timed_out = !timed_out;
   }
 

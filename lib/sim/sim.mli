@@ -8,6 +8,16 @@
     *functional*: kernels move and compute real pixel data, so a run's
     outputs can be checked against reference image operations.
 
+    The engine is event-driven (see docs/PERFORMANCE.md): channels are
+    preallocated ring buffers that know their producer and consumer, and
+    a push, pop, or processor release re-examines only the parties it may
+    have unblocked, instead of rescanning every processor to a fixpoint
+    after each event. Because kernel [try_step]s are failure-pure, the
+    skipped scans are ones that would deterministically decline; the
+    original full-rescan engine is preserved in {!Sim_reference} and a
+    suite-wide differential test keeps the two in exact agreement on
+    every application whose emitters never block.
+
     Model:
     - every on-chip kernel instance is assigned to a processor by a
       {!Mapping.t}; kernels sharing a processor are time-multiplexed
@@ -40,7 +50,10 @@ type result = {
   duration_s : float;  (** Time of the last event. *)
   procs : proc_stats array;
   input_stalls : int;
-      (** Source emission attempts that found a full channel. *)
+      (** Scheduled source emissions that found insufficient space for
+          the source's declared {!Bp_kernel.Spec.emission_burst} — one
+          per missed slot (the stalled pixel is emitted the instant space
+          frees, without retry polling). *)
   late_emissions : int;
       (** Pixels that could not be emitted at their scheduled time. *)
   max_input_lateness_s : float;
@@ -60,7 +73,13 @@ type result = {
           stuck front item — the raw material of a deadlock diagnosis. *)
   leftover_items : int;
       (** Items still queued when the simulation went quiet — nonzero means
-          the graph deadlocked or was cut short by [max_time_s]. *)
+          the graph deadlocked or was cut short by [max_time_s]. A
+          deadlocked graph quiesces as soon as its last event drains
+          (with [timed_out = false]) rather than polling until the time
+          limit. *)
+  events_processed : int;
+      (** Heap events consumed by the run — the denominator of the
+          events-per-second throughput the benchmark tracks. *)
   timed_out : bool;
 }
 
@@ -78,8 +97,9 @@ type placement_model = {
     - [Ch_pop]: one item was removed by the firing kernel;
     - [Ch_block]: a kernel's output-space guard found this channel full —
       the firing could not proceed through it. Emitted per guard
-      evaluation, so a persistently blocked kernel reports one event per
-      scheduling attempt, not one per stall interval. *)
+      evaluation; the event-driven scheduler only re-evaluates guards
+      whose channels changed, so a persistently blocked kernel reports
+      one event per genuine re-attempt, not one per polling interval. *)
 type channel_event = Ch_push | Ch_pop | Ch_block
 
 val run :

@@ -1,0 +1,39 @@
+(** The original polling simulation engine, kept as a reference.
+
+    This is the seed implementation of {!Sim.run}, frozen: Queue-backed
+    channels, a full rescan of every processor to fixpoint after each
+    event, and fixed retry polls for blocked sources (quarter-period) and
+    constant sources (1 µs). The event-driven engine in {!Sim} must agree
+    with it bit-exactly on every application that never blocks an emitter
+    — the suite-wide differential test in [test/test_differential.ml]
+    holds the two together. Use {!Sim.run} everywhere else; this module
+    exists only to be compared against. *)
+
+val run :
+  ?max_time_s:float ->
+  ?max_events:int ->
+  ?placement:Sim.placement_model ->
+  ?observer:
+    (time_s:float ->
+    proc:int ->
+    node:Bp_graph.Graph.node ->
+    method_name:string ->
+    service_s:float ->
+    unit) ->
+  ?channel_observer:
+    (time_s:float ->
+    chan_id:int ->
+    node:Bp_graph.Graph.node ->
+    proc:int option ->
+    event:Sim.channel_event ->
+    depth:int ->
+    unit) ->
+  graph:Bp_graph.Graph.t ->
+  mapping:Mapping.t ->
+  machine:Bp_machine.Machine.t ->
+  unit ->
+  Sim.result
+(** Same contract as {!Sim.run}, original engine. [events_processed]
+    counts this engine's own (polling) events, so it will generally
+    differ from the event-driven engine's count even when every other
+    field matches. *)

@@ -215,8 +215,80 @@ let test_fixed_composites () =
         true (run_case case))
     fixed_cases
 
+(* ---- engine equivalence -----------------------------------------------
+
+   The event-driven scheduler (Sim) against the preserved polling engine
+   (Sim_reference), over the full benchmark suite under both mappings.
+   No suite application ever blocks an emitter, so the two engines must
+   agree *bit-exactly* on everything observable: durations and busy
+   times are compared as exact floats, not within a tolerance. Each
+   engine gets its own freshly built instance (behaviour state and sink
+   collectors are per-instance). *)
+
+let result_signature (r : Sim.result) =
+  let assoc l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  ( Array.to_list
+      (Array.map
+         (fun (p : Sim.proc_stats) ->
+           (p.Sim.run_s, p.Sim.read_s, p.Sim.write_s, p.Sim.fires))
+         r.Sim.procs),
+    (r.Sim.input_stalls, r.Sim.late_emissions, r.Sim.max_input_lateness_s),
+    assoc r.Sim.sink_eofs,
+    assoc r.Sim.sink_first_data,
+    List.sort compare
+      (List.map
+         (fun (id, (ns : Sim.node_stats)) ->
+           (id, ns.Sim.node_fires, ns.Sim.node_busy_s))
+         r.Sim.node_stats),
+    List.sort compare r.Sim.channel_depths,
+    (r.Sim.leftover_items, r.Sim.timed_out) )
+
+let run_engine label ~greedy ~engine =
+  let e = Apps.Suite.by_label label in
+  let inst = e.Apps.Suite.build () in
+  let compiled =
+    Pipeline.compile ~machine:e.Apps.Suite.machine inst.App.graph
+  in
+  let mapping =
+    if greedy then Pipeline.mapping_greedy compiled
+    else Pipeline.mapping_one_to_one compiled
+  in
+  engine ~graph:compiled.Pipeline.graph ~mapping
+    ~machine:e.Apps.Suite.machine ()
+
+let test_engines_agree () =
+  List.iter
+    (fun label ->
+      List.iter
+        (fun greedy ->
+          let tag =
+            Printf.sprintf "%s/%s" label (if greedy then "greedy" else "1:1")
+          in
+          let reference =
+            run_engine label ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
+                Sim_reference.run ~graph ~mapping ~machine ())
+          in
+          let fresh =
+            run_engine label ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
+                Sim.run ~graph ~mapping ~machine ())
+          in
+          Alcotest.(check (float 0.))
+            (tag ^ ": duration bit-exact")
+            reference.Sim.duration_s fresh.Sim.duration_s;
+          Alcotest.(check int)
+            (tag ^ ": events processed")
+            reference.Sim.events_processed fresh.Sim.events_processed;
+          Alcotest.(check bool)
+            (tag ^ ": full result signature")
+            true
+            (result_signature reference = result_signature fresh))
+        [ false; true ])
+    Apps.Suite.labels
+
 let suite =
   [
     Alcotest.test_case "fixed composites" `Slow test_fixed_composites;
     differential;
+    Alcotest.test_case "engines agree over the whole suite" `Slow
+      test_engines_agree;
   ]

@@ -239,6 +239,94 @@ let heap_sorts =
       in
       List.sort compare times = popped)
 
+let test_ring_wraparound () =
+  (* Push/pop cycles that cross the capacity boundary repeatedly: the
+     ring must stay FIFO while head wraps, and space accounting must stay
+     exact at both the full and empty edges. *)
+  let r = Ring.create ~capacity:4 ~dummy:(-1) in
+  Alcotest.(check int) "initial space" 4 (Ring.space r);
+  Alcotest.(check bool) "initially empty" true (Ring.is_empty r);
+  (* Fill, drain half, refill past the array end, drain fully — thrice,
+     so the head wraps through every slot. *)
+  let counter = ref 0 in
+  let popped = ref [] in
+  let expected = ref [] in
+  for _round = 1 to 3 do
+    while not (Ring.is_full r) do
+      incr counter;
+      expected := !counter :: !expected;
+      Ring.push r !counter
+    done;
+    Alcotest.(check int) "full: no space" 0 (Ring.space r);
+    for _ = 1 to 2 do
+      popped := Ring.pop r :: !popped
+    done;
+    incr counter;
+    expected := !counter :: !expected;
+    Ring.push r !counter;
+    Alcotest.(check int) "after refill" 3 (Ring.length r);
+    while not (Ring.is_empty r) do
+      popped := Ring.pop r :: !popped
+    done;
+    Alcotest.(check int) "empty again" 4 (Ring.space r)
+  done;
+  Alcotest.(check (list int))
+    "FIFO order preserved across wraps" (List.rev !expected)
+    (List.rev !popped);
+  (* Misuse raises rather than corrupting. *)
+  Alcotest.check_raises "pop empty" (Invalid_argument "Ring.pop: empty")
+    (fun () -> ignore (Ring.pop r));
+  Ring.push r 1;
+  Alcotest.(check (list int)) "to_list" [ 1 ] (Ring.to_list r);
+  Alcotest.(check int) "peek" 1 (Ring.peek r);
+  Ring.push r 2;
+  Ring.push r 3;
+  Ring.push r 4;
+  Alcotest.check_raises "push full" (Invalid_argument "Ring.push: full")
+    (fun () -> Ring.push r 5)
+
+let test_blocked_source_quiesces () =
+  (* A wedged graph behind a source: branch A forwards pixels while
+     branch B shrinks the stream, so the joining subtract wedges on
+     mixed fronts and backpressure reaches the source. The event-driven
+     engine records the missed emission slots and then goes quiet —
+     without the reference engine's quarter-period retry polling, a
+     deadlocked run ends at quiescence (timed_out = false) after a
+     handful of events instead of burning polls until the time limit. *)
+  let g = Graph.create () in
+  let frame = Size.v 4 3 in
+  let frames = Image.Gen.frame_sequence ~seed:1 frame 3 in
+  let src =
+    Graph.add g
+      ~meta:(Graph.Source_meta { frame; rate = Rate.hz 10. })
+      (Source.spec ~frame ~frames ())
+  in
+  let fwd = Graph.add g (Arith.forward ()) in
+  let med = Graph.add g (Median.spec ~w:3 ~h:3 ()) in
+  let cfg = Buffer.config ~out_window:(Window.windowed 3 3) ~frame () in
+  let buf = Graph.add g (Buffer.spec cfg) in
+  let sub = Graph.add g (Arith.subtract ()) in
+  let c = Sink.collector () in
+  let sink = Graph.add g (Sink.spec ~window:Window.pixel c ()) in
+  Graph.connect g ~from:(src, "out") ~into:(fwd, "in");
+  Graph.connect g ~from:(src, "out") ~into:(buf, "in");
+  Graph.connect g ~from:(buf, "out") ~into:(med, "in");
+  Graph.connect g ~from:(fwd, "out") ~into:(sub, "in0");
+  Graph.connect g ~from:(med, "out") ~into:(sub, "in1");
+  Graph.connect g ~from:(sub, "out") ~into:(sink, "in");
+  let result =
+    Sim.run ~graph:g ~mapping:(Mapping.one_to_one g)
+      ~machine:Machine.default ()
+  in
+  Alcotest.(check bool) "items wedged" true (result.Sim.leftover_items > 0);
+  Alcotest.(check bool) "source saw the backpressure" true
+    (result.Sim.input_stalls >= 1);
+  Alcotest.(check bool) "quiesced, not timed out" false result.Sim.timed_out;
+  Alcotest.(check bool)
+    (Printf.sprintf "no retry burn (%d events)" result.Sim.events_processed)
+    true
+    (result.Sim.events_processed < 5_000)
+
 let suite =
   [
     Alcotest.test_case "sim: pipeline content" `Quick
@@ -256,6 +344,9 @@ let suite =
       test_multiplexed_mapping_equivalent;
     Alcotest.test_case "heap: ordering" `Quick test_heap_ordering;
     heap_sorts;
+    Alcotest.test_case "ring: wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "sim: blocked source quiesces" `Quick
+      test_blocked_source_quiesces;
   ]
 
 let test_channel_occupancy_bounded () =
