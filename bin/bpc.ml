@@ -106,6 +106,15 @@ let handle_errors f =
     Format.eprintf "bpc: %a@." Bp_util.Err.pp e;
     1
 
+(* Like [handle_errors], but [f] chooses the exit code — simulate uses it
+   to fail the process (and thus CI smokes) on real-time misses. *)
+let handle_errors_code f =
+  match Bp_util.Err.guard f with
+  | Ok code -> code
+  | Error e ->
+    Format.eprintf "bpc: %a@." Bp_util.Err.pp e;
+    1
+
 let compile_common app width height rate frames machine policy =
   let frame = Size.v width height in
   let rate = Rate.hz rate in
@@ -174,6 +183,17 @@ let metrics_arg =
           "Write the structured metrics snapshot (counters, gauges, \
            histograms; see docs/OBSERVABILITY.md) as JSON.")
 
+let health_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "health" ] ~docv:"FILE"
+        ~doc:
+          "Write the real-time health snapshot (per-kernel busy/blocked/idle \
+           breakdown, per-frame latency and deadline accounting, channel \
+           high-watermarks, bottleneck verdict; see docs/OBSERVABILITY.md) \
+           as JSON.")
+
 let gantt_arg =
   Arg.(
     value & flag
@@ -192,8 +212,8 @@ let sched_arg =
 
 let simulate_cmd =
   let run app width height rate frames machine policy greedy trace metrics
-      gantt energy sched =
-    handle_errors @@ fun () ->
+      health gantt energy sched =
+    handle_errors_code @@ fun () ->
     let inst, compiled =
       compile_common app width height rate frames machine policy
     in
@@ -205,10 +225,10 @@ let simulate_cmd =
            compiled.Pipeline.graph);
     let recorded, trace_observer = Bp_sim.Trace.recorder () in
     let obs = Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph () in
-    let observer ~time_s ~proc ~node ~method_name ~service_s =
-      trace_observer ~time_s ~proc ~node ~method_name ~service_s;
-      Bp_obs.Instrument.observer obs ~time_s ~proc ~node ~method_name
-        ~service_s
+    let hlt = Bp_obs.Health.create ~graph:compiled.Pipeline.graph () in
+    let observer =
+      Bp_obs.Instrument.compose
+        [ trace_observer; Bp_obs.Instrument.observer obs ]
     in
     let wall_t0 = Unix.gettimeofday () in
     let result =
@@ -218,11 +238,13 @@ let simulate_cmd =
       in
       Sim.run ~observer
         ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
+        ~state_observer:(Bp_obs.Health.state_observer hlt)
         ~graph:compiled.Pipeline.graph ~mapping
         ~machine:compiled.Pipeline.machine ()
     in
     let wall_s = Unix.gettimeofday () -. wall_t0 in
     Bp_obs.Instrument.finalize obs ~result;
+    Bp_obs.Health.finalize hlt ~result ();
     Format.printf "%a@." Sim.pp_result result;
     Format.printf "wall: %.1f ms, %d events (%.0f events/s)@."
       (wall_s *. 1e3) result.Sim.events_processed
@@ -234,13 +256,18 @@ let simulate_cmd =
       Bp_obs.Chrome_trace.write_file ~path
         (Bp_obs.Chrome_trace.of_run
            ~compile_passes:compiled.Pipeline.passes ~instrument:obs
-           ~graph:compiled.Pipeline.graph ~trace:recorded ());
+           ~health:hlt ~graph:compiled.Pipeline.graph ~trace:recorded ());
       Format.printf "wrote %s@." path
     | None -> ());
     (match metrics with
     | Some path ->
       Bp_obs.Json.write_file ~path
         (Bp_obs.Metrics.to_json (Bp_obs.Instrument.metrics obs));
+      Format.printf "wrote %s@." path
+    | None -> ());
+    (match health with
+    | Some path ->
+      Bp_obs.Json.write_file ~path (Bp_obs.Health.to_json hlt);
       Format.printf "wrote %s@." path
     | None -> ());
     if energy then
@@ -260,15 +287,21 @@ let simulate_cmd =
       (if ok then "exact" else "MISMATCH")
       (if verdict.Sim.met then "met" else "MISSED")
       verdict.Sim.frames_delivered
-      (1000. *. verdict.Sim.worst_frame_interval_s)
+      (1000. *. verdict.Sim.worst_frame_interval_s);
+    (* Fail the process on a real-time miss, a deadlock/timeout, or a
+       functional mismatch, so CI smokes catch regressions. *)
+    if (not verdict.Sim.met) || result.Sim.timed_out || not ok then 1 else 0
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Compile, simulate, and verify function and throughput")
+       ~doc:
+         "Compile, simulate, and verify function and throughput (exits \
+          non-zero when the run misses the declared rate, deadlocks, or \
+          miscomputes)")
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
       $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ metrics_arg
-      $ gantt_arg $ energy_arg $ sched_arg)
+      $ health_arg $ gantt_arg $ energy_arg $ sched_arg)
 
 let run_cmd =
   let file_arg =
@@ -397,7 +430,8 @@ let report_cmd =
       & info [] ~docv:"FIG"
           ~doc:
             "Figures to reproduce (fig2..fig13, util, placement, energy, \
-             machines, or all).")
+             machines, or all) — or $(b,bottleneck APP) for the real-time \
+             bottleneck report of one application.")
   in
   let dot_dir =
     Arg.(
@@ -405,24 +439,61 @@ let report_cmd =
       & info [ "dot-dir" ] ~docv:"DIR"
           ~doc:"Also write Graphviz renderings of the figure graphs here.")
   in
-  let run which dot_dir =
+  (* [bpc report bottleneck APP]: simulate with health instrumentation and
+     print the ranked stall report (docs/TUTORIAL.md §"Finding the
+     bottleneck"). *)
+  let bottleneck_report app width height rate frames machine policy greedy =
+    let _inst, compiled =
+      compile_common app width height rate frames machine policy
+    in
+    let hlt = Bp_obs.Health.create ~graph:compiled.Pipeline.graph () in
+    let result =
+      let mapping =
+        if greedy then Pipeline.mapping_greedy compiled
+        else Pipeline.mapping_one_to_one compiled
+      in
+      Sim.run
+        ~state_observer:(Bp_obs.Health.state_observer hlt)
+        ~graph:compiled.Pipeline.graph ~mapping
+        ~machine:compiled.Pipeline.machine ()
+    in
+    Bp_obs.Health.finalize hlt ~result ();
+    Format.printf "%s (%s mapping)@." app
+      (if greedy then "greedy" else "1:1");
+    Format.printf "%a" Bp_obs.Health.pp_bottleneck hlt
+  in
+  let run which dot_dir width height rate frames machine policy greedy =
     handle_errors @@ fun () ->
-    let ppf = Format.std_formatter in
-    List.iter
-      (fun w ->
-        if w = "all" then Bp_report.Report.all ppf
-        else
-          match List.assoc_opt w figs with
-          | Some f -> f ppf
-          | None -> Bp_util.Err.unsupportedf "unknown figure %S" w)
-      which;
-    match dot_dir with
-    | Some dir -> ignore (Bp_report.Report.export_dots ~dir ppf)
-    | None -> ()
+    match which with
+    | "bottleneck" :: rest -> (
+      match rest with
+      | [ app ] ->
+        bottleneck_report app width height rate frames machine policy greedy
+      | _ ->
+        Bp_util.Err.unsupportedf
+          "report bottleneck: expected exactly one APP (see bpc list)")
+    | _ ->
+      let ppf = Format.std_formatter in
+      List.iter
+        (fun w ->
+          if w = "all" then Bp_report.Report.all ppf
+          else
+            match List.assoc_opt w figs with
+            | Some f -> f ppf
+            | None -> Bp_util.Err.unsupportedf "unknown figure %S" w)
+        which;
+      (match dot_dir with
+      | Some dir -> ignore (Bp_report.Report.export_dots ~dir ppf)
+      | None -> ())
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Reproduce the paper's figures and tables")
-    Term.(const run $ which $ dot_dir)
+    (Cmd.info "report"
+       ~doc:
+         "Reproduce the paper's figures and tables, or print a bottleneck \
+          report")
+    Term.(
+      const run $ which $ dot_dir $ width_arg $ height_arg $ rate_arg
+      $ frames_arg $ machine_arg $ policy_arg $ greedy_arg)
 
 let () =
   let doc = "block-parallel compiler, simulator and experiment driver" in

@@ -75,6 +75,7 @@ module Dot = Bp_viz.Dot
 
 module Metrics = Bp_obs.Metrics
 module Instrument = Bp_obs.Instrument
+module Health = Bp_obs.Health
 module Chrome_trace = Bp_obs.Chrome_trace
 module Obs_json = Bp_obs.Json
 

@@ -6,15 +6,21 @@
     firing — plus, when an {!Instrument} is supplied, one counter track
     (["ph":"C"]) per channel with its queue occupancy over time, and, when
     compile pass timings are supplied, a second process with one slice per
-    compiler pass. Timestamps are microseconds of *simulated* time
-    (compiler passes: microseconds of wall time, on their own timeline
-    starting at 0). The full schema is documented in
-    docs/OBSERVABILITY.md. *)
+    compiler pass. When a finalized {!Health} is supplied, each processor
+    additionally gets a stall track (thread id [1000 + proc]) of colored
+    spans — blocked-on-input vs blocked-on-output, with the culprit
+    channel in [args] — and every frame becomes an async flow event
+    (["ph":"b"]/["ph":"e"]) from its source birth to its sink
+    end-of-frame, so per-frame latency is visible as a span. Timestamps
+    are microseconds of *simulated* time (compiler passes: microseconds
+    of wall time, on their own timeline starting at 0). The full schema
+    is documented in docs/OBSERVABILITY.md. *)
 
 val of_run :
   ?process_name:string ->
   ?compile_passes:Bp_compiler.Pipeline.pass_timing list ->
   ?instrument:Instrument.t ->
+  ?health:Health.t ->
   graph:Bp_graph.Graph.t ->
   trace:Bp_sim.Trace.t ->
   unit ->

@@ -123,3 +123,8 @@ let channel_label g id =
   Printf.sprintf "%s.%s->%s.%s"
     (Graph.node g c.Graph.src.Graph.node).Graph.name c.Graph.src.Graph.port
     (Graph.node g c.Graph.dst.Graph.node).Graph.name c.Graph.dst.Graph.port
+
+let compose observers ~time_s ~proc ~node ~method_name ~service_s =
+  List.iter
+    (fun f -> f ~time_s ~proc ~node ~method_name ~service_s)
+    observers

@@ -57,6 +57,26 @@ val channel_observer :
     [kernel.<name>.blocks], and the occupancy time series behind
     {!channel_series}. *)
 
+val compose :
+  (time_s:float ->
+  proc:int ->
+  node:Bp_graph.Graph.node ->
+  method_name:string ->
+  service_s:float ->
+  unit)
+  list ->
+  time_s:float ->
+  proc:int ->
+  node:Bp_graph.Graph.node ->
+  method_name:string ->
+  service_s:float ->
+  unit
+(** [compose obs] is a firing observer that fans each event out to every
+    observer in [obs], in list order — the way to attach both the
+    {!Bp_sim.Trace} recorder and {!observer} to one run:
+    [Sim.run ~observer:(Instrument.compose [Trace.recorder tr; Instrument.observer inst])].
+    Composing passive observers is passive. *)
+
 val finalize : t -> result:Bp_sim.Sim.result -> unit
 (** Derive the post-run metrics that need the whole result:
     [sim.duration_s], [sim.input_stalls], [sim.late_emissions],

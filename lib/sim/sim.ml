@@ -25,6 +25,7 @@ type result = {
   max_input_lateness_s : float;
   sink_eofs : (Graph.node_id * float list) list;
   sink_first_data : (Graph.node_id * float) list;
+  source_frame_births : (Graph.node_id * float list) list;
   node_stats : (Graph.node_id * node_stats) list;
   channel_depths : (int * int) list;  (* channel id -> max occupancy *)
   leftover_channels : (int * int * Item.t) list;
@@ -39,6 +40,14 @@ type placement_model = {
 }
 
 type channel_event = Ch_push | Ch_pop | Ch_block
+
+type kernel_state = Ks_busy | Ks_blocked_input | Ks_blocked_output | Ks_idle
+
+let kernel_state_name = function
+  | Ks_busy -> "busy"
+  | Ks_blocked_input -> "blocked-on-input"
+  | Ks_blocked_output -> "blocked-on-output"
+  | Ks_idle -> "idle"
 
 (* ---- runtime structures ----------------------------------------------
 
@@ -80,9 +89,13 @@ and node_rt = {
   mutable cw_read : int;  (* words read by the current firing *)
   mutable cw_write : int;
   mutable cw_hop : int;
+  mutable cw_full_out : int;  (* full output channel the attempt saw, or -1 *)
   mutable s_marked : bool;  (* sinks only: queued for draining *)
   mutable rt_fires : int;
   mutable rt_busy : float;
+  mutable ks_state : kernel_state;  (* as of the last dispatch examination *)
+  mutable ks_busy_end : float;  (* end of the current busy interval *)
+  mutable fb_pending : bool;  (* sources only: next Data push starts a frame *)
 }
 
 and emitter_rt = {
@@ -139,6 +152,8 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     ?(observer = fun ~time_s:_ ~proc:_ ~node:_ ~method_name:_ ~service_s:_ -> ())
     ?(channel_observer =
       fun ~time_s:_ ~chan_id:_ ~node:_ ~proc:_ ~event:_ ~depth:_ -> ())
+    ?(state_observer =
+      fun ~time_s:_ ~node:_ ~proc:_ ~state:_ ~chan:_ -> ())
     ~graph:g ~mapping ~machine () =
   Graph.validate g;
   let pe = machine.Machine.pe in
@@ -173,6 +188,12 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     Hashtbl.create 8
   in
   let sink_first_data : (Graph.node_id, float) Hashtbl.t = Hashtbl.create 8 in
+  (* Per timed source, the emission time of each frame's first data item
+     (newest first) — the birth tags sinks' per-frame latency is measured
+     against. *)
+  let frame_births : (Graph.node_id, float list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
   let dummy_io =
     let fail _ = assert false in
     { Behaviour.peek = fail; pop = fail; push = (fun _ _ -> assert false);
@@ -211,13 +232,19 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           cw_read = 0;
           cw_write = 0;
           cw_hop = 0;
+          cw_full_out = -1;
           s_marked = false;
           rt_fires = 0;
           rt_busy = 0.;
+          ks_state = Ks_idle;
+          ks_busy_end = 0.;
+          fb_pending = true;
         }
       in
       if n.Graph.spec.Spec.role = Spec.Sink then
         Hashtbl.replace sink_eof_times n.Graph.id (ref []);
+      if n.Graph.spec.Spec.role = Spec.Source then
+        Hashtbl.replace frame_births n.Graph.id (ref []);
       Hashtbl.replace node_rts n.Graph.id rt)
     (Graph.nodes g);
   let node_rt id = Hashtbl.find node_rts id in
@@ -373,6 +400,19 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           item);
       push =
         (fun port item ->
+          (* Frame tagging: a timed source's first data push after start or
+             after an end-of-frame token is the birth of the next frame. *)
+          if rt.node.Graph.spec.Spec.role = Spec.Source then begin
+            match item with
+            | Item.Data _ ->
+              if rt.fb_pending then begin
+                let births = Hashtbl.find frame_births rt.node.Graph.id in
+                births := !now :: !births;
+                rt.fb_pending <- false
+              end
+            | Item.Ctl tok ->
+              if tok.Token.kind = Token.End_of_frame then rt.fb_pending <- true
+          end;
           let cs = find_port "output" rt rt.out_chans port in
           Array.iter
             (fun c ->
@@ -395,7 +435,10 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
             Array.fold_left
               (fun acc c ->
                 let free = Ring.space c.ring in
-                if free <= 0 then on_chan c Ch_block;
+                if free <= 0 then begin
+                  rt.cw_full_out <- c.id;
+                  on_chan c Ch_block
+                end;
                 min acc free)
               max_int cs);
     }
@@ -406,6 +449,7 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     rt.cw_read <- 0;
     rt.cw_write <- 0;
     rt.cw_hop <- 0;
+    rt.cw_full_out <- -1;
     match rt.behaviour.Behaviour.try_step rt.io with
     | None -> None
     | Some fired ->
@@ -474,6 +518,40 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         end)
       !emitters
   in
+  (* ---- kernel state intervals ----------------------------------------
+     Each on-chip kernel carries a state (busy / blocked-on-input /
+     blocked-on-output / idle) that changes only when the dispatcher
+     learns something: an attempt that declines is classified by what the
+     attempt observed (a full output channel, or wanting input), a firing
+     enters busy, and a busy interval ends exactly at its known service
+     end. Between examinations nothing adjacent changed (try_step is
+     failure-pure), so holding the last classification is exact, not
+     sampled. [state_observer] is invoked once per entered state with the
+     entry time; by construction the emitted intervals partition
+     [0, duration] for every kernel (asserted in test/test_obs.ml). *)
+  let set_state (rt : node_rt) proc st chan =
+    (* A busy interval whose end passed unexamined closes into idle at the
+       exact service end, not at the moment we finally looked. *)
+    if rt.ks_state = Ks_busy && !now > rt.ks_busy_end +. 1e-15 then begin
+      state_observer ~time_s:rt.ks_busy_end ~node:rt.node ~proc
+        ~state:Ks_idle ~chan:None;
+      rt.ks_state <- Ks_idle
+    end;
+    if st <> rt.ks_state then begin
+      state_observer ~time_s:!now ~node:rt.node ~proc ~state:st ~chan;
+      rt.ks_state <- st
+    end
+  in
+  let first_empty_input (rt : node_rt) =
+    let n = Array.length rt.in_chans in
+    let rec go i =
+      if i >= n then None
+      else
+        let _, c = rt.in_chans.(i) in
+        if Ring.is_empty c.ring then Some c.id else go (i + 1)
+    in
+    go 0
+  in
   (* Try to start one firing on an idle processor. *)
   let try_dispatch p =
     let proc = procs.(p) in
@@ -486,7 +564,11 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           let idx = (proc.cursor + i) mod k in
           let rt = proc.kernels.(idx) in
           match step_node rt with
-          | None -> attempt (i + 1)
+          | None ->
+            (if rt.cw_full_out >= 0 then
+               set_state rt p Ks_blocked_output (Some rt.cw_full_out)
+             else set_state rt p Ks_blocked_input (first_empty_input rt));
+            attempt (i + 1)
           | Some (fired, read_s, run_s, write_s) ->
             (* Context-switch charge when a multiplexed PE changes kernel. *)
             let run_s =
@@ -496,6 +578,8 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
             in
             proc.last_fired <- idx;
             let service = read_s +. run_s +. write_s in
+            set_state rt p Ks_busy None;
+            rt.ks_busy_end <- !now +. service;
             observer ~time_s:!now ~proc:p ~node:rt.node
               ~method_name:fired.Behaviour.method_name ~service_s:service;
             proc.busy_until <- !now +. service;
@@ -595,6 +679,19 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         dispatch ()
       end
   done;
+  (* Close out busy intervals whose service end passed without another
+     examination, so every kernel's intervals reach a settled state. *)
+  Hashtbl.iter
+    (fun _ rt ->
+      match rt.proc with
+      | Some p ->
+        if rt.ks_state = Ks_busy && !now > rt.ks_busy_end +. 1e-15 then begin
+          state_observer ~time_s:rt.ks_busy_end ~node:rt.node ~proc:p
+            ~state:Ks_idle ~chan:None;
+          rt.ks_state <- Ks_idle
+        end
+      | None -> ())
+    node_rts;
   let leftover_items =
     List.fold_left (fun acc c -> acc + Ring.length c.ring) 0 all_chans
   in
@@ -624,6 +721,10 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         sink_eof_times [];
     sink_first_data =
       Hashtbl.fold (fun id t acc -> (id, t) :: acc) sink_first_data [];
+    source_frame_births =
+      Hashtbl.fold
+        (fun id births acc -> (id, List.rev !births) :: acc)
+        frame_births [];
     channel_depths = List.map (fun c -> (c.id, c.max_depth)) all_chans;
     leftover_channels;
     node_stats =

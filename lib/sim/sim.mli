@@ -63,6 +63,11 @@ type result = {
       (** Per sink, when its first data chunk arrived — the first-output
           latency the paper notes is the only thing placement affects
           (Section IV-D). *)
+  source_frame_births : (Bp_graph.Graph.node_id * float list) list;
+      (** Per timed source, the emission time of each frame's first data
+          item, in frame order — the birth tag that, joined with
+          [sink_eofs], gives per-frame end-to-end latency (the fold lives
+          in [Bp_obs.Health]). *)
   node_stats : (Bp_graph.Graph.node_id * node_stats) list;
   channel_depths : (int * int) list;
       (** Per channel (by id), the highest queue occupancy observed —
@@ -102,6 +107,31 @@ type placement_model = {
       one event per genuine re-attempt, not one per polling interval. *)
 type channel_event = Ch_push | Ch_pop | Ch_block
 
+(** What a kernel is doing, as of the dispatcher's last examination — the
+    states behind the [state_observer] hook (see docs/OBSERVABILITY.md
+    §"Real-time health" for the normative contract):
+    - [Ks_busy]: a firing is in flight; the interval is exactly
+      [(start, start + service)].
+    - [Ks_blocked_output]: the last attempt declined after its output-space
+      guard found a channel full (the culprit channel id rides along).
+    - [Ks_blocked_input]: the last attempt declined without touching a full
+      output — the kernel wants more input (the first empty input channel
+      rides along when one exists; a kernel mid-window may be starved with
+      no input empty).
+    - [Ks_idle]: not running and not observed blocked: the settled state
+      after a firing until the next examination, which covers both waiting
+      for a shared PE and end-of-run quiescence.
+
+    Transitions fire only at scheduling events, but they are exact, not
+    sampled: between two examinations no adjacent channel changed (the
+    event-driven core's invariant), so the held state is what any finer
+    probe would have seen. *)
+type kernel_state = Ks_busy | Ks_blocked_input | Ks_blocked_output | Ks_idle
+
+val kernel_state_name : kernel_state -> string
+(** ["busy" | "blocked-on-input" | "blocked-on-output" | "idle"] — the
+    spelling the health snapshot and trace export use. *)
+
 val run :
   ?max_time_s:float ->
   ?max_events:int ->
@@ -121,6 +151,13 @@ val run :
     event:channel_event ->
     depth:int ->
     unit) ->
+  ?state_observer:
+    (time_s:float ->
+    node:Bp_graph.Graph.node ->
+    proc:int ->
+    state:kernel_state ->
+    chan:int option ->
+    unit) ->
   graph:Bp_graph.Graph.t ->
   mapping:Mapping.t ->
   machine:Bp_machine.Machine.t ->
@@ -134,9 +171,15 @@ val run :
     channel push/pop/full-guard event with the acting node, its processor
     ([None] for off-chip sources and sinks), and the queue depth *after*
     the event — the hook [Bp_obs.Instrument] feeds metrics and occupancy
-    counter tracks from. Both hooks default to no-ops and must not mutate
-    simulation state; a run's [result] is identical with and without them
-    (asserted in [test/test_obs.ml]). *)
+    counter tracks from. [state_observer] is invoked once per entered
+    {!kernel_state} of each on-chip kernel, with the entry time and, for
+    blocked states, the culprit channel; every kernel starts [Ks_idle] at
+    time 0 (no call is made for the initial state) and the emitted
+    transitions partition [[0, duration_s]] exactly — the hook
+    [Bp_obs.Health] folds breakdowns and the bottleneck report from. All
+    hooks default to no-ops and must not mutate simulation state; a run's
+    [result] is identical with and without them (asserted in
+    [test/test_obs.ml]). *)
 
 val utilization : result -> proc:int -> float
 (** [(run+read+write) / duration] for one processor. *)

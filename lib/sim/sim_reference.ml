@@ -54,7 +54,7 @@ type source_rt = {
 type event = Source_slot of source_rt | Const_emit of node_rt | Proc_free of int
 
 let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop
-    ~on_chan =
+    ~on_push ~on_chan =
   let find_in port =
     match List.assoc_opt port rt.in_chans with
     | Some c -> c
@@ -82,6 +82,7 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop
         item);
     push =
       (fun port item ->
+        on_push item;
         let cs = find_outs port in
         List.iter
           (fun c ->
@@ -132,6 +133,12 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     Hashtbl.create 8
   in
   let sink_first_data : (Graph.node_id, float) Hashtbl.t = Hashtbl.create 8 in
+  (* Frame birth tags, as in Sim: per timed source, when each frame's
+     first data item was emitted. *)
+  let frame_births : (Graph.node_id, float list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let frame_pending : (Graph.node_id, bool ref) Hashtbl.t = Hashtbl.create 4 in
   let now = ref 0. in
   let node_rts = Hashtbl.create 64 in
   List.iter
@@ -164,6 +171,10 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
       in
       if n.Graph.spec.Spec.role = Spec.Sink then
         Hashtbl.replace sink_eof_times n.Graph.id (ref []);
+      if n.Graph.spec.Spec.role = Spec.Source then begin
+        Hashtbl.replace frame_births n.Graph.id (ref []);
+        Hashtbl.replace frame_pending n.Graph.id (ref true)
+      end;
       Hashtbl.replace node_rts n.Graph.id rt)
     (Graph.nodes g);
   let node_rt id = Hashtbl.find node_rts id in
@@ -218,7 +229,24 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
       channel_observer ~time_s:!now ~chan_id:c.id ~node:rt.node ~proc:rt.proc
         ~event:ev ~depth:(Queue.length c.queue)
     in
-    let io = make_io rt ~read_words ~write_words ~hop_words ~on_pop ~on_chan in
+    let on_push item =
+      if rt.node.Graph.spec.Spec.role = Spec.Source then begin
+        match item with
+        | Item.Data _ ->
+          let pending = Hashtbl.find frame_pending rt.node.Graph.id in
+          if !pending then begin
+            let births = Hashtbl.find frame_births rt.node.Graph.id in
+            births := !now :: !births;
+            pending := false
+          end
+        | Item.Ctl tok ->
+          if tok.Token.kind = Token.End_of_frame then
+            Hashtbl.find frame_pending rt.node.Graph.id := true
+      end
+    in
+    let io =
+      make_io rt ~read_words ~write_words ~hop_words ~on_pop ~on_push ~on_chan
+    in
     match rt.behaviour.Behaviour.try_step io with
     | None -> None
     | Some fired ->
@@ -409,6 +437,10 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         sink_eof_times [];
     sink_first_data =
       Hashtbl.fold (fun id t acc -> (id, t) :: acc) sink_first_data [];
+    source_frame_births =
+      Hashtbl.fold
+        (fun id births acc -> (id, List.rev !births) :: acc)
+        frame_births [];
     channel_depths =
       Hashtbl.fold (fun id c acc -> (id, c.max_depth) :: acc) chans [];
     leftover_channels;

@@ -193,9 +193,8 @@ let tiny () =
 let instrumented_run ?sample_limit g =
   let obs = Instrument.create ?sample_limit ~graph:g () in
   let trace, trace_observer = Trace.recorder () in
-  let observer ~time_s ~proc ~node ~method_name ~service_s =
-    trace_observer ~time_s ~proc ~node ~method_name ~service_s;
-    Instrument.observer obs ~time_s ~proc ~node ~method_name ~service_s
+  let observer =
+    Instrument.compose [ trace_observer; Instrument.observer obs ]
   in
   let result =
     Sim.run ~observer
@@ -204,6 +203,22 @@ let instrumented_run ?sample_limit g =
   in
   Instrument.finalize obs ~result;
   (obs, trace, result)
+
+(* Run with the full health instrumentation attached and finalized. *)
+let health_run ?(greedy = false) g ~machine =
+  let h = Health.create ~graph:g () in
+  let mapping =
+    if greedy then
+      Mapping.of_groups g
+        (Multiplex.greedy machine g)
+    else Mapping.one_to_one g
+  in
+  let result =
+    Sim.run ~state_observer:(Health.state_observer h) ~graph:g ~mapping
+      ~machine ()
+  in
+  Health.finalize h ~result ();
+  (h, result)
 
 let compiled_pipeline () =
   let inst =
@@ -369,13 +384,16 @@ let test_differential_observer_free () =
   let run_with_obs () =
     let mapping = Pipeline.mapping_greedy compiled in
     let obs = Instrument.create ~graph:g () in
+    let h = Health.create ~graph:g () in
     let result =
       Sim.run
         ~observer:(Instrument.observer obs)
         ~channel_observer:(Instrument.channel_observer obs)
+        ~state_observer:(Health.state_observer h)
         ~graph:g ~mapping ~machine ()
     in
     Instrument.finalize obs ~result;
+    Health.finalize h ~result ();
     result
   in
   let run_bare () =
@@ -412,22 +430,24 @@ let test_chrome_trace_schema () =
   let compiled = compiled_pipeline () in
   let g = compiled.Pipeline.graph in
   let obs = Instrument.create ~graph:g () in
+  let h = Health.create ~graph:g () in
   let trace, trace_observer = Trace.recorder () in
-  let observer ~time_s ~proc ~node ~method_name ~service_s =
-    trace_observer ~time_s ~proc ~node ~method_name ~service_s;
-    Instrument.observer obs ~time_s ~proc ~node ~method_name ~service_s
+  let observer =
+    Instrument.compose [ trace_observer; Instrument.observer obs ]
   in
   let result =
     Sim.run ~observer
       ~channel_observer:(Instrument.channel_observer obs)
+      ~state_observer:(Health.state_observer h)
       ~graph:g
       ~mapping:(Pipeline.mapping_greedy compiled)
       ~machine:compiled.Pipeline.machine ()
   in
   Instrument.finalize obs ~result;
+  Health.finalize h ~result ();
   let doc =
     Chrome_trace.of_run ~compile_passes:compiled.Pipeline.passes
-      ~instrument:obs ~graph:g ~trace ()
+      ~instrument:obs ~health:h ~graph:g ~trace ()
   in
   let parsed = parse_json (Obs_json.to_string doc) in
   let events =
@@ -449,7 +469,8 @@ let test_chrome_trace_schema () =
     | _ -> true
   in
   Alcotest.(check bool) "monotone timestamps" true (monotone ts_values);
-  (* One named thread (track) per PE of the run. *)
+  (* One named thread (track) per PE of the run, plus one stall track per
+     PE the health layer observed. *)
   let thread_names =
     List.filter
       (fun e ->
@@ -458,14 +479,16 @@ let test_chrome_trace_schema () =
         && field "pid" e = Some (JNum 0.))
       events
   in
-  Alcotest.(check int) "one thread_name per PE"
-    (Array.length result.Sim.procs)
+  Alcotest.(check int) "one thread_name per PE track (firings + stalls)"
+    (2 * Array.length result.Sim.procs)
     (List.length thread_names);
   (* Firing slices land on PE tracks; at least one counter track exists. *)
   let xs =
     List.filter
       (fun e ->
-        field "ph" e = Some (JStr "X") && field "pid" e = Some (JNum 0.))
+        field "ph" e = Some (JStr "X")
+        && field "pid" e = Some (JNum 0.)
+        && field "cat" e = Some (JStr "firing"))
       events
   in
   Alcotest.(check bool) "has firing slices" true (xs <> []);
@@ -477,6 +500,45 @@ let test_chrome_trace_schema () =
           (tid >= 0. && tid < float_of_int (Array.length result.Sim.procs))
       | _ -> Alcotest.fail "X event without tid")
     xs;
+  (* Stall spans land on the 1000+p stall tracks with a culprit kernel. *)
+  let stalls =
+    List.filter (fun e -> field "cat" e = Some (JStr "stall")) events
+  in
+  Alcotest.(check bool) "has stall spans" true (stalls <> []);
+  List.iter
+    (fun e ->
+      (match field "tid" e with
+      | Some (JNum tid) ->
+        Alcotest.(check bool) "stall tid on a stall track" true
+          (tid >= 1000.
+          && tid < 1000. +. float_of_int (Array.length result.Sim.procs))
+      | _ -> Alcotest.fail "stall event without tid");
+      match field "args" e with
+      | Some (JObj args) ->
+        Alcotest.(check bool) "stall names its kernel" true
+          (List.mem_assoc "kernel" args)
+      | _ -> Alcotest.fail "stall event without args")
+    stalls;
+  (* Every frame appears as an async begin/end pair. *)
+  let frames_b =
+    List.filter
+      (fun e ->
+        field "cat" e = Some (JStr "frame") && field "ph" e = Some (JStr "b"))
+      events
+  and frames_e =
+    List.filter
+      (fun e ->
+        field "cat" e = Some (JStr "frame") && field "ph" e = Some (JStr "e"))
+      events
+  in
+  let n_frames =
+    List.fold_left (fun acc (_, fs) -> acc + List.length fs) 0 (Health.frames h)
+  in
+  Alcotest.(check bool) "frames were recorded" true (n_frames > 0);
+  Alcotest.(check int) "one async begin per frame" n_frames
+    (List.length frames_b);
+  Alcotest.(check int) "one async end per frame" n_frames
+    (List.length frames_e);
   let counters = List.filter (fun e -> field "ph" e = Some (JStr "C")) events in
   Alcotest.(check bool) "has counter events" true (counters <> []);
   (* Compile passes ride along on their own process. *)
@@ -519,6 +581,307 @@ let test_pass_timings () =
   Alcotest.(check bool) "parallelize grows the graph" true
     (par.Pipeline.nodes_after > par.Pipeline.nodes_before)
 
+(* ---- metrics determinism ----------------------------------------------- *)
+
+let test_metrics_sorted_deterministic () =
+  let build order =
+    let m = Metrics.create () in
+    List.iter
+      (fun n ->
+        Metrics.incr m ("c." ^ n);
+        Metrics.set m ("g." ^ n) 1.5;
+        Metrics.observe m ("h." ^ n) 1e-3)
+      order;
+    m
+  in
+  let a = build [ "beta"; "alpha"; "gamma" ]
+  and b = build [ "gamma"; "beta"; "alpha" ] in
+  Alcotest.(check (list string))
+    "names sorted regardless of registration order" (Metrics.names a)
+    (Metrics.names b);
+  Alcotest.(check bool) "names are sorted" true
+    (let ns = Metrics.names a in
+     List.sort compare ns = ns);
+  Alcotest.(check string) "snapshots byte-identical"
+    (Obs_json.to_string (Metrics.to_json a))
+    (Obs_json.to_string (Metrics.to_json b));
+  let pp m = Format.asprintf "%a" Metrics.pp m in
+  Alcotest.(check string) "pp byte-identical" (pp a) (pp b)
+
+(* ---- Trace.recorder and first_output_latency_s -------------------------- *)
+
+let test_trace_recorder_and_latency () =
+  let g, fwd = tiny () in
+  let _, trace, result = instrumented_run g in
+  let fwd_name = (Graph.node g fwd).Graph.name in
+  (* First-output latency is the earliest first-data arrival across sinks. *)
+  let fol = Option.get (Sim.first_output_latency_s result) in
+  let expected =
+    List.fold_left
+      (fun acc (_, t) -> Float.min acc t)
+      infinity result.Sim.sink_first_data
+  in
+  Alcotest.(check (float 0.)) "first-output latency = earliest sink data"
+    expected fol;
+  Alcotest.(check bool) "latency non-negative" true (fol >= 0.);
+  (* The recorder saw exactly the forward kernel's 16 firings, in order. *)
+  let firings = Trace.firings trace in
+  Alcotest.(check int) "one firing per item" 16 (List.length firings);
+  List.iter
+    (fun (f : Trace.firing) ->
+      Alcotest.(check string) "only the forward kernel fires" fwd_name
+        f.Trace.kernel;
+      Alcotest.(check bool) "service positive" true (f.Trace.service_s > 0.))
+    firings;
+  let rec monotone = function
+    | (a : Trace.firing) :: (b :: _ as rest) ->
+      a.Trace.at_s <= b.Trace.at_s && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "firings in time order" true (monotone firings);
+  Alcotest.(check int) "all firings on PE 0" 16
+    (List.length (Trace.firings_on trace ~proc:0));
+  Alcotest.(check int) "no firings on PE 1" 0
+    (List.length (Trace.firings_on trace ~proc:1));
+  let total =
+    List.fold_left (fun acc (f : Trace.firing) -> acc +. f.Trace.service_s)
+      0. firings
+  in
+  (match Trace.busiest_kernel trace with
+  | Some (name, s) ->
+    Alcotest.(check string) "busiest kernel" fwd_name name;
+    Alcotest.(check (float 1e-12)) "busiest kernel total service" total s
+  | None -> Alcotest.fail "no busiest kernel");
+  (match Trace.summary trace with
+  | [ (name, fires, s) ] ->
+    Alcotest.(check string) "summary kernel" fwd_name name;
+    Alcotest.(check int) "summary fires" 16 fires;
+    Alcotest.(check (float 1e-12)) "summary service" total s
+  | l -> Alcotest.fail (Printf.sprintf "summary rows: %d" (List.length l)));
+  let gantt = Trace.gantt trace in
+  Alcotest.(check bool) "gantt shows busy slices" true
+    (String.contains gantt '#')
+
+(* ---- real-time health --------------------------------------------------- *)
+
+(* The partition invariant: every on-chip kernel's state intervals tile
+   [0, duration] exactly — contiguous, non-negative, starting at 0 and
+   ending at the duration — and the busy total agrees with the
+   simulator's own per-node accounting. *)
+let check_partition tag g (h : Health.t) (result : Sim.result) =
+  let tracks = Health.intervals h in
+  Alcotest.(check bool) (tag ^ ": has kernel tracks") true (tracks <> []);
+  List.iter
+    (fun ((node : Graph.node), _proc, ivs) ->
+      (match ivs with
+      | [] -> Alcotest.fail (tag ^ ": kernel without intervals")
+      | first :: _ ->
+        Alcotest.(check (float 0.))
+          (tag ^ ": first interval starts at 0")
+          0. first.Health.iv_start);
+      let rec contiguous = function
+        | (a : Health.interval) :: (b :: _ as rest) ->
+          Alcotest.(check (float 0.))
+            (tag ^ ": intervals contiguous")
+            a.Health.iv_end b.Health.iv_start;
+          contiguous rest
+        | [ (last : Health.interval) ] ->
+          Alcotest.(check (float 0.))
+            (tag ^ ": last interval ends at duration")
+            result.Sim.duration_s last.Health.iv_end
+        | [] -> ()
+      in
+      contiguous ivs;
+      List.iter
+        (fun (iv : Health.interval) ->
+          Alcotest.(check bool)
+            (tag ^ ": interval non-negative")
+            true
+            (iv.Health.iv_end >= iv.Health.iv_start))
+        ivs;
+      let bd = Option.get (Health.breakdown h node.Graph.id) in
+      Alcotest.(check (float 1e-9))
+        (tag ^ ": breakdown partitions the run")
+        result.Sim.duration_s
+        (bd.Health.busy_s +. bd.Health.blocked_input_s
+        +. bd.Health.blocked_output_s +. bd.Health.idle_s);
+      let ns = List.assoc node.Graph.id result.Sim.node_stats in
+      Alcotest.(check (float 1e-9))
+        (tag ^ ": busy agrees with node_stats")
+        ns.Sim.node_busy_s bd.Health.busy_s)
+    tracks;
+  ignore g
+
+let test_health_partition_suite () =
+  List.iter
+    (fun label ->
+      List.iter
+        (fun greedy ->
+          let tag =
+            Printf.sprintf "%s/%s" label (if greedy then "greedy" else "1:1")
+          in
+          let e = Apps.Suite.by_label label in
+          let inst = e.Apps.Suite.build () in
+          let compiled =
+            Pipeline.compile ~machine:e.Apps.Suite.machine inst.App.graph
+          in
+          let g = compiled.Pipeline.graph in
+          let h, result = health_run ~greedy g ~machine:e.Apps.Suite.machine in
+          check_partition tag g h result)
+        [ false; true ])
+    Apps.Suite.labels
+
+(* A graph whose bottleneck is analytically known: the Heavy kernel's
+   service time (3000 cycles = 3 ms at 1 MHz) is ~10x the element period
+   (8x8 @ 50 Hz = 312.5 us/pixel), so Heavy saturates, the
+   Forward->Heavy channel fills, and Forward spends the run
+   blocked-on-output against it. *)
+let heavy_cycles = 3000
+
+let bottleneck_fixture () =
+  let frame = Size.v 8 8 in
+  let frames = Image.Gen.frame_sequence ~seed:11 frame 2 in
+  let heavy =
+    let methods =
+      [
+        Method_spec.on_data ~cycles:heavy_cycles ~name:"run"
+          ~inputs:[ "in" ] ~outputs:[ "out" ] ();
+      ]
+    in
+    let run _m inputs = [ ("out", List.assoc "in" inputs) ] in
+    Kernel.v ~class_name:"Heavy"
+      ~inputs:[ Port.input "in" Window.pixel ]
+      ~outputs:[ Port.output "out" Window.pixel ]
+      ~methods
+      ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
+      ()
+  in
+  let g = Graph.create () in
+  let src =
+    Graph.add g
+      ~meta:(Graph.Source_meta { frame; rate = Rate.hz 50. })
+      (Source.spec ~frame ~frames ())
+  in
+  let fwd = Graph.add g (Arith.forward ()) in
+  let hv = Graph.add g heavy in
+  let collector = Sink.collector () in
+  let sink = Graph.add g (Sink.spec ~window:Window.pixel collector ()) in
+  Graph.connect g ~from:(src, "out") ~into:(fwd, "in");
+  Graph.connect g ~from:(fwd, "out") ~into:(hv, "in");
+  Graph.connect g ~from:(hv, "out") ~into:(sink, "in");
+  (g, fwd, hv, sink)
+
+let test_bottleneck_known_answer () =
+  let g, fwd, hv, _sink = bottleneck_fixture () in
+  let h, result = health_run g ~machine:Machine.default in
+  check_partition "heavy" g h result;
+  let b = Option.get (Health.bottleneck h) in
+  let fwd_name = (Graph.node g fwd).Graph.name in
+  let hv_name = (Graph.node g hv).Graph.name in
+  Alcotest.(check string) "most blocked kernel is Forward" fwd_name
+    b.Health.b_kernel.Graph.name;
+  Alcotest.(check bool) "blocked a dominant share of the run" true
+    (b.Health.b_blocked_s > 0.5 *. result.Sim.duration_s);
+  (* The binding channel is the Forward->Heavy edge; its other endpoint —
+     the rate limiter the report should name — is Heavy. *)
+  (match b.Health.b_chan with
+  | Some c ->
+    Alcotest.(check int) "binding channel leaves Forward" fwd
+      c.Graph.src.Graph.node;
+    Alcotest.(check int) "binding channel enters Heavy" hv
+      c.Graph.dst.Graph.node
+  | None -> Alcotest.fail "no binding channel attributed");
+  Alcotest.(check string) "culprit is the Heavy kernel" hv_name
+    (Option.get b.Health.b_culprit).Graph.name;
+  (* Forward's blocked time is blocked-on-output, and Heavy saturates. *)
+  let bd_fwd = Option.get (Health.breakdown h fwd) in
+  Alcotest.(check bool) "Forward blocked on output, not input" true
+    (bd_fwd.Health.blocked_output_s > bd_fwd.Health.blocked_input_s);
+  let bd_hv = Option.get (Health.breakdown h hv) in
+  Alcotest.(check bool) "Heavy is nearly saturated" true
+    (bd_hv.Health.busy_s > 0.9 *. result.Sim.duration_s);
+  (* The report prose names the culprit. *)
+  let report = Format.asprintf "%a" Health.pp_bottleneck h in
+  Alcotest.(check bool) "report names the rate limiter" true
+    (let needle = "Likely rate limiter: " ^ hv_name in
+     let nl = String.length needle and rl = String.length report in
+     let rec scan i =
+       i + nl <= rl && (String.sub report i nl = needle || scan (i + 1))
+     in
+     scan 0)
+
+let test_health_frames_and_deadlines () =
+  (* The overloaded fixture cannot keep up with 50 Hz: frame 1's
+     end-of-frame arrives far past its deadline. *)
+  let g, _, _, sink = bottleneck_fixture () in
+  let h, result = health_run g ~machine:Machine.default in
+  (* Frame births were tagged at the source, in frame order. *)
+  (match result.Sim.source_frame_births with
+  | [ (_, [ b0; b1 ]) ] ->
+    Alcotest.(check (float 0.)) "frame 0 born at t=0" 0. b0;
+    Alcotest.(check bool) "births in frame order" true (b1 > b0)
+  | _ -> Alcotest.fail "expected one source with two frame births");
+  (match Health.frames h with
+  | [ (node, [ f0; f1 ]) ] ->
+    Alcotest.(check int) "frames land on the sink" sink node.Graph.id;
+    Alcotest.(check int) "frame indices" 0 f0.Health.f_index;
+    Alcotest.(check int) "frame indices" 1 f1.Health.f_index;
+    List.iter
+      (fun (f : Health.frame) ->
+        Alcotest.(check bool) "latency positive" true (f.Health.f_latency_s > 0.);
+        Alcotest.(check (float 1e-12)) "latency = arrival - birth"
+          (f.Health.f_arrival_s -. f.Health.f_birth_s)
+          f.Health.f_latency_s)
+      [ f0; f1 ];
+    (* Deadlines anchor at the first arrival, so frame 0 holds and the
+       late frame 1 misses. *)
+    Alcotest.(check bool) "frame 0 meets its anchor deadline" false
+      f0.Health.f_missed;
+    Alcotest.(check bool) "frame 1 misses" true f1.Health.f_missed
+  | _ -> Alcotest.fail "expected one sink with two frames");
+  Alcotest.(check int) "one deadline miss total" 1 (Health.deadline_misses h);
+  let m = Health.metrics h in
+  Alcotest.(check int) "miss counter" 1 (Metrics.counter m "sim.deadline_misses");
+  let name = (Graph.node g sink).Graph.name in
+  Alcotest.(check int) "per-sink miss counter" 1
+    (Metrics.counter m (Printf.sprintf "sink.%s.deadline_misses" name));
+  let lat =
+    Option.get
+      (Metrics.histogram m (Printf.sprintf "sink.%s.frame_latency_s" name))
+  in
+  Alcotest.(check int) "one latency sample per frame" 2 lat.Metrics.h_count
+
+let test_health_json_valid () =
+  let compiled = compiled_pipeline () in
+  let g = compiled.Pipeline.graph in
+  let h, _ = health_run g ~machine:compiled.Pipeline.machine in
+  let parsed = parse_json (Obs_json.to_string (Health.to_json h)) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true
+        (field key parsed <> None))
+    [
+      "duration_s"; "period_s"; "deadline_misses"; "kernels"; "sinks";
+      "channels"; "bottleneck";
+    ];
+  (match field "kernels" parsed with
+  | Some (JList ks) ->
+    Alcotest.(check bool) "has kernels" true (ks <> []);
+    let names =
+      List.filter_map
+        (fun k ->
+          match field "name" k with Some (JStr s) -> Some s | _ -> None)
+      ks
+    in
+    Alcotest.(check bool) "kernels sorted by name" true
+      (List.sort compare names = names)
+  | _ -> Alcotest.fail "kernels not a list");
+  match field "bottleneck" parsed with
+  | Some (JObj fields) ->
+    Alcotest.(check bool) "bottleneck names a kernel" true
+      (List.mem_assoc "kernel" fields)
+  | _ -> Alcotest.fail "bottleneck not an object"
+
 let suite =
   [
     Alcotest.test_case "metrics: counters, gauges, histograms" `Quick
@@ -541,4 +904,16 @@ let suite =
       test_json_escaping_roundtrip;
     Alcotest.test_case "pipeline: pass timings recorded" `Quick
       test_pass_timings;
+    Alcotest.test_case "metrics: snapshots deterministic across orders" `Quick
+      test_metrics_sorted_deterministic;
+    Alcotest.test_case "trace recorder + first-output latency" `Quick
+      test_trace_recorder_and_latency;
+    Alcotest.test_case "health: intervals partition [0,duration] (suite)"
+      `Slow test_health_partition_suite;
+    Alcotest.test_case "health: bottleneck known answer" `Quick
+      test_bottleneck_known_answer;
+    Alcotest.test_case "health: frame latency and deadline misses" `Quick
+      test_health_frames_and_deadlines;
+    Alcotest.test_case "health: JSON snapshot valid and sorted" `Quick
+      test_health_json_valid;
   ]
