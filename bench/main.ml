@@ -129,7 +129,7 @@ let bench_schedulability =
 let bench_heap =
   Test.make ~name:"event-heap-1k"
     (Staged.stage @@ fun () ->
-     let h = Bp_sim.Heap.create () in
+     let h = Bp_sim.Heap.create ~dummy:0 () in
      for i = 0 to 999 do
        Bp_sim.Heap.push h ~time:(float_of_int ((i * 7919) mod 997)) i
      done;

@@ -1,14 +1,22 @@
-(* Simulator throughput benchmark.
+(* Simulator throughput and allocation benchmark.
 
    Times full simulation runs (compile excluded) of the image-pipeline
    and histogram applications under both mappings, on the event-driven
-   engine and the preserved polling reference, and writes the numbers to
-   BENCH_SIM.json so throughput is tracked across PRs. docs/PERFORMANCE.md
-   explains how to read the output.
+   engine (pooled and unpooled data plane) and the preserved polling
+   reference, and writes the numbers to BENCH_SIM.json (schema
+   bench-sim/v2) so throughput *and* GC pressure are tracked across PRs.
+   docs/PERFORMANCE.md explains how to read the output.
 
    Run with:            dune exec bench/sim_bench.exe
    Fewer repetitions:   BENCH_SIM_REPEATS=1 dune exec bench/sim_bench.exe
-   Different output:    BENCH_SIM_OUT=/tmp/out.json dune exec bench/sim_bench.exe *)
+   No warmup:           BENCH_SIM_WARMUP=0 dune exec bench/sim_bench.exe
+   Different output:    BENCH_SIM_OUT=/tmp/out.json dune exec bench/sim_bench.exe
+
+   Regression gate (exits non-zero when any fixture×mapping loses more
+   than BENCH_SIM_TOLERANCE — default 0.4 — of its baseline events/s;
+   works against both v1 and v2 files):
+
+     dune exec bench/sim_bench.exe -- --against BENCH_SIM.json *)
 
 open Block_parallel
 
@@ -50,25 +58,35 @@ let fixtures =
     };
   ]
 
-let repeats =
-  match Sys.getenv_opt "BENCH_SIM_REPEATS" with
-  | Some s -> (try max 1 (int_of_string s) with _ -> 5)
-  | None -> 5
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try max 0 (int_of_string s) with _ -> default)
+  | None -> default
+
+let repeats = max 1 (env_int "BENCH_SIM_REPEATS" 5)
+let warmup = env_int "BENCH_SIM_WARMUP" 1
 
 (* One timed engine run over [repeats] fresh instances (behaviour state
-   is per-instance, so every repetition simulates from scratch). Returns
-   wall seconds plus the totals of the last run. *)
+   is per-instance, so every repetition simulates from scratch), after
+   [warmup] untimed runs that fault in code paths and settle the heap.
+   Returns wall seconds, the GC deltas of the timed loop only, and the
+   totals of the last run. *)
 let time_engine fx ~greedy ~engine =
-  let prepared =
-    List.init repeats (fun _ ->
-        let inst = fx.build () in
-        let compiled = Pipeline.compile ~machine:fx.machine inst.App.graph in
-        let mapping =
-          if greedy then Pipeline.mapping_greedy compiled
-          else Pipeline.mapping_one_to_one compiled
-        in
-        (compiled.Pipeline.graph, mapping))
+  let prepare () =
+    let inst = fx.build () in
+    let compiled = Pipeline.compile ~machine:fx.machine inst.App.graph in
+    let mapping =
+      if greedy then Pipeline.mapping_greedy compiled
+      else Pipeline.mapping_one_to_one compiled
+    in
+    (compiled.Pipeline.graph, mapping)
   in
+  List.iter
+    (fun (graph, mapping) ->
+      ignore (engine ~graph ~mapping ~machine:fx.machine ()))
+    (List.init warmup (fun _ -> prepare ()));
+  let prepared = List.init repeats (fun _ -> prepare ()) in
+  let gc0 = Metrics.gc_snapshot () in
   let t0 = Unix.gettimeofday () in
   let last =
     List.fold_left
@@ -77,31 +95,64 @@ let time_engine fx ~greedy ~engine =
       None prepared
   in
   let wall = Unix.gettimeofday () -. t0 in
+  let gc1 = Metrics.gc_snapshot () in
+  let minor_words = gc1.Metrics.gc_minor_words -. gc0.Metrics.gc_minor_words in
+  let allocated_words = Metrics.allocated_words ~before:gc0 ~after:gc1 in
   match last with
-  | Some (r : Sim.result) -> (wall, r)
+  | Some (r : Sim.result) -> (wall, minor_words, allocated_words, r)
   | None -> assert false
 
 let total_fires (r : Sim.result) =
   List.fold_left (fun acc (_, ns) -> acc + ns.Sim.node_fires) 0 r.Sim.node_stats
 
 let run_fixture fx ~greedy =
-  let wall, r =
+  let wall, minor_w, alloc_w, r =
     time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
         Sim.run ~graph ~mapping ~machine ())
   in
-  let ref_wall, ref_r =
+  let nopool_wall, nopool_minor_w, nopool_alloc_w, nopool_r =
+    time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
+        Sim.run ~pool:false ~graph ~mapping ~machine ())
+  in
+  let ref_wall, ref_minor_w, _, ref_r =
     time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
         Sim_reference.run ~graph ~mapping ~machine ())
   in
-  if r.Sim.leftover_items <> 0 || ref_r.Sim.leftover_items <> 0 then
-    failwith (fx.name ^ ": benchmark fixture did not drain");
+  if r.Sim.leftover_items <> 0
+     || nopool_r.Sim.leftover_items <> 0
+     || ref_r.Sim.leftover_items <> 0
+  then failwith (fx.name ^ ": benchmark fixture did not drain");
+  if nopool_r.Sim.events_processed <> r.Sim.events_processed then
+    failwith (fx.name ^ ": pooled and unpooled runs diverged");
   let per_run = wall /. float_of_int repeats in
   let rate denom = float_of_int (denom * repeats) /. wall in
+  let total_events = float_of_int (r.Sim.events_processed * repeats) in
+  let per_event w = w /. total_events in
+  let pool_stats =
+    match r.Sim.pool with
+    | Some s -> s
+    | None -> failwith (fx.name ^ ": pooled run reported no pool stats")
+  in
+  let pool_acquires = pool_stats.Pool.hits + pool_stats.Pool.misses in
+  let pool_hit_rate =
+    if pool_acquires = 0 then 0.
+    else float_of_int pool_stats.Pool.hits /. float_of_int pool_acquires
+  in
+  let minor_reduction =
+    if minor_w <= 0. then Float.infinity else nopool_minor_w /. minor_w
+  in
+  (* The reference engine keeps the v1-era allocation discipline (fresh
+     chunks, boxed floats, per-event closures), so its words/event stands
+     in for the committed v1 baseline, whose schema predates GC fields. *)
+  let minor_reduction_vs_reference =
+    if minor_w <= 0. then Float.infinity else ref_minor_w /. minor_w
+  in
   let fields =
     [
       ("fixture", Obs_json.Str fx.name);
       ("mapping", Obs_json.Str (if greedy then "greedy" else "one-to-one"));
       ("repeats", Obs_json.Int repeats);
+      ("warmup", Obs_json.Int warmup);
       ("frames", Obs_json.Int fx.n_frames);
       ("events", Obs_json.Int r.Sim.events_processed);
       ("fires", Obs_json.Int (total_fires r));
@@ -110,21 +161,111 @@ let run_fixture fx ~greedy =
       ("events_per_s", Obs_json.float (rate r.Sim.events_processed));
       ("fires_per_s", Obs_json.float (rate (total_fires r)));
       ("frames_per_s", Obs_json.float (rate fx.n_frames));
+      ("minor_words_per_event", Obs_json.float (per_event minor_w));
+      ("allocated_words_per_event", Obs_json.float (per_event alloc_w));
+      (* Pool counters are per run (each Sim.run owns a fresh pool). *)
+      ("pool_hits", Obs_json.Int pool_stats.Pool.hits);
+      ("pool_misses", Obs_json.Int pool_stats.Pool.misses);
+      ("pool_hit_rate", Obs_json.float pool_hit_rate);
+      ( "nopool_wall_s_per_run",
+        Obs_json.float (nopool_wall /. float_of_int repeats) );
+      ( "nopool_events_per_s",
+        Obs_json.float (total_events /. nopool_wall) );
+      ("nopool_minor_words_per_event", Obs_json.float (per_event nopool_minor_w));
+      ( "nopool_allocated_words_per_event",
+        Obs_json.float (per_event nopool_alloc_w) );
+      ("minor_words_reduction", Obs_json.float minor_reduction);
       ("reference_wall_s_per_run",
        Obs_json.float (ref_wall /. float_of_int repeats));
+      ( "reference_minor_words_per_event",
+        Obs_json.float (per_event ref_minor_w) );
+      ( "minor_words_reduction_vs_reference",
+        Obs_json.float minor_reduction_vs_reference );
       ("speedup_vs_reference", Obs_json.float (ref_wall /. wall));
     ]
   in
-  Printf.printf "%-24s %-10s %8.2f ms/run  %10.0f events/s  %8.1f frames/s  %5.2fx vs reference\n%!"
+  Printf.printf
+    "%-24s %-10s %8.2f ms/run  %10.0f events/s  %6.1f w/event (%4.1fx < \
+     nopool, %4.1fx < reference, pool %4.1f%%)  %5.2fx vs reference\n\
+     %!"
     fx.name
     (if greedy then "greedy" else "one-to-one")
     (per_run *. 1e3)
     (rate r.Sim.events_processed)
-    (rate fx.n_frames)
+    (per_event minor_w) minor_reduction minor_reduction_vs_reference
+    (100. *. pool_hit_rate)
     (ref_wall /. wall);
   Obs_json.Obj fields
 
+(* ---- regression gate -------------------------------------------------- *)
+
+let row_key row =
+  match (Obs_json.member "fixture" row, Obs_json.member "mapping" row) with
+  | Some (Obs_json.Str f), Some (Obs_json.Str m) -> Some (f, m)
+  | _ -> None
+
+let row_events_per_s row =
+  Option.bind (Obs_json.member "events_per_s" row) Obs_json.to_float_opt
+
+let baseline_rows path =
+  match Obs_json.member "fixtures" (Obs_json.parse_file path) with
+  | Some (Obs_json.List rows) -> rows
+  | _ -> failwith (path ^ ": no \"fixtures\" list")
+
+(* Exits non-zero when any fixture×mapping present in both files lost
+   more than [tolerance] of its baseline events/s. Hosts differ, so the
+   gate compares a fresh run against a baseline *recorded on the same
+   host* (CI regenerates the baseline first) — the committed file is only
+   a fallback for quick local checks. Wall-clock noise on millisecond
+   fixtures easily reaches tens of percent on shared runners, so the
+   default tolerance is wide and BENCH_SIM_TOLERANCE overrides it;
+   the gate exists to catch order-of-magnitude regressions, while fine
+   drift is read off the committed BENCH_SIM.json ratios. *)
+let check_against ~path current_rows =
+  let tolerance =
+    match Sys.getenv_opt "BENCH_SIM_TOLERANCE" with
+    | Some s -> (try max 0.01 (float_of_string s) with _ -> 0.4)
+    | None -> 0.4
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun baseline_row ->
+      match (row_key baseline_row, row_events_per_s baseline_row) with
+      | Some (f, m), Some base_eps when base_eps > 0. -> (
+        let current =
+          List.find_opt (fun row -> row_key row = Some (f, m)) current_rows
+        in
+        match Option.bind current row_events_per_s with
+        | Some cur_eps ->
+          let ratio = cur_eps /. base_eps in
+          let ok = ratio >= 1. -. tolerance in
+          if not ok then incr failures;
+          Printf.printf "%-24s %-10s %10.0f -> %10.0f events/s  (%+.1f%%)%s\n"
+            f m base_eps cur_eps
+            (100. *. (ratio -. 1.))
+            (if ok then "" else "  REGRESSION")
+        | None ->
+          incr failures;
+          Printf.printf "%-24s %-10s missing from current run\n" f m)
+      | _ -> ())
+    (baseline_rows path);
+  if !failures > 0 then begin
+    Printf.printf "%d regression(s) beyond %.0f%% vs %s\n" !failures
+      (100. *. tolerance) path;
+    exit 1
+  end
+  else Printf.printf "no events/s regression beyond %.0f%% vs %s\n"
+      (100. *. tolerance) path
+
 let () =
+  let against =
+    match Sys.argv with
+    | [| _ |] -> None
+    | [| _; "--against"; path |] -> Some path
+    | _ ->
+      prerr_endline "usage: sim_bench [--against BASELINE.json]";
+      exit 2
+  in
   print_endline "==== simulator throughput ====";
   let rows =
     List.concat_map
@@ -134,16 +275,20 @@ let () =
         [ one_to_one; greedy ])
       fixtures
   in
-  let out =
-    Obs_json.Obj
-      [
-        ("schema", Obs_json.Str "bench-sim/v1");
-        ("repeats", Obs_json.Int repeats);
-        ("fixtures", Obs_json.List rows);
-      ]
-  in
-  let path =
-    Option.value (Sys.getenv_opt "BENCH_SIM_OUT") ~default:"BENCH_SIM.json"
-  in
-  Obs_json.write_file ~path out;
-  Printf.printf "wrote %s\n" path
+  match against with
+  | Some path -> check_against ~path rows
+  | None ->
+    let out =
+      Obs_json.Obj
+        [
+          ("schema", Obs_json.Str "bench-sim/v2");
+          ("repeats", Obs_json.Int repeats);
+          ("warmup", Obs_json.Int warmup);
+          ("fixtures", Obs_json.List rows);
+        ]
+    in
+    let path =
+      Option.value (Sys.getenv_opt "BENCH_SIM_OUT") ~default:"BENCH_SIM.json"
+    in
+    Obs_json.write_file ~path out;
+    Printf.printf "wrote %s\n" path

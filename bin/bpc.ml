@@ -210,9 +210,19 @@ let sched_arg =
     & info [ "schedulability" ]
         ~doc:"Print the static per-kernel utilization report.")
 
+let no_pool_arg =
+  Arg.(
+    value & flag
+    & info [ "no-pool" ]
+        ~doc:
+          "Run the simulator's data plane without the chunk pool (every \
+           chunk freshly allocated, releases dropped). Results are \
+           bit-identical; use it to A/B the allocation numbers printed \
+           after the run (see docs/PERFORMANCE.md).")
+
 let simulate_cmd =
   let run app width height rate frames machine policy greedy trace metrics
-      health gantt energy sched =
+      health gantt energy sched no_pool =
     handle_errors_code @@ fun () ->
     let inst, compiled =
       compile_common app width height rate frames machine policy
@@ -230,26 +240,51 @@ let simulate_cmd =
       Bp_obs.Instrument.compose
         [ trace_observer; Bp_obs.Instrument.observer obs ]
     in
+    let gc_before = Bp_obs.Metrics.gc_snapshot () in
     let wall_t0 = Unix.gettimeofday () in
     let result =
       let mapping =
         if greedy then Pipeline.mapping_greedy compiled
         else Pipeline.mapping_one_to_one compiled
       in
-      Sim.run ~observer
+      Sim.run ~observer ~pool:(not no_pool)
         ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
         ~state_observer:(Bp_obs.Health.state_observer hlt)
         ~graph:compiled.Pipeline.graph ~mapping
         ~machine:compiled.Pipeline.machine ()
     in
     let wall_s = Unix.gettimeofday () -. wall_t0 in
+    let gc_after = Bp_obs.Metrics.gc_snapshot () in
     Bp_obs.Instrument.finalize obs ~result;
     Bp_obs.Health.finalize hlt ~result ();
+    let reg = Bp_obs.Instrument.metrics obs in
+    Bp_obs.Metrics.record_gc reg ~before:gc_before ~after:gc_after ();
+    (match result.Sim.pool with
+    | Some p ->
+      Bp_obs.Metrics.record_pool reg ~hits:p.Bp_image.Pool.hits
+        ~misses:p.Bp_image.Pool.misses ~releases:p.Bp_image.Pool.releases
+        ~live:p.Bp_image.Pool.live ()
+    | None -> ());
     Format.printf "%a@." Sim.pp_result result;
+    let events_f = float_of_int result.Sim.events_processed in
+    let minor_w =
+      gc_after.Bp_obs.Metrics.gc_minor_words
+      -. gc_before.Bp_obs.Metrics.gc_minor_words
+    in
     Format.printf "wall: %.1f ms, %d events (%.0f events/s)@."
       (wall_s *. 1e3) result.Sim.events_processed
-      (if wall_s > 0. then float_of_int result.Sim.events_processed /. wall_s
-       else 0.);
+      (if wall_s > 0. then events_f /. wall_s else 0.);
+    Format.printf "alloc: %.1f minor words/event%s@."
+      (if events_f > 0. then minor_w /. events_f else 0.)
+      (match result.Sim.pool with
+      | Some p ->
+        let acquires = p.Bp_image.Pool.hits + p.Bp_image.Pool.misses in
+        Printf.sprintf ", pool hit rate %.1f%% (%d hits, %d misses, %d live)"
+          (if acquires = 0 then 0.
+           else 100. *. float_of_int p.Bp_image.Pool.hits
+                /. float_of_int acquires)
+          p.Bp_image.Pool.hits p.Bp_image.Pool.misses p.Bp_image.Pool.live
+      | None -> ", pool off");
     if gantt then print_string (Bp_sim.Trace.gantt recorded);
     (match trace with
     | Some path ->
@@ -301,7 +336,7 @@ let simulate_cmd =
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
       $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ metrics_arg
-      $ health_arg $ gantt_arg $ energy_arg $ sched_arg)
+      $ health_arg $ gantt_arg $ energy_arg $ sched_arg $ no_pool_arg)
 
 let run_cmd =
   let file_arg =

@@ -27,14 +27,17 @@ let threshold_kernel ~initial () =
   in
   let make_behaviour () =
     let level = ref initial in
-    let run m inputs =
+    let run m ~alloc inputs =
       match m with
       | "applyThreshold" ->
         let px = List.assoc "in" inputs in
-        [ ("out", Image.map (fun v -> if v > !level then 1. else 0.) px) ]
+        let out = alloc (Image.size px) in
+        Image.map_into (fun v -> if v > !level then 1. else 0.) ~src:px
+          ~dst:out;
+        [ ("out", out) ]
       | _ -> assert false
     in
-    let token_run m _tok =
+    let token_run m ~alloc:_ _tok =
       match m with
       | "retune" ->
         level := !level *. 2.;

@@ -20,7 +20,7 @@ let decimator () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs = [ ("out", List.assoc "in" inputs) ] in
+  let run _m ~alloc:_ inputs = [ ("out", List.assoc "in" inputs) ] in
   Kernel.v ~class_name:"Decimate"
     ~inputs:[ Port.input "in" (Window.v ~step:(Step.v 2 2) Size.one) ]
     ~outputs:[ Port.output "out" Window.pixel ]

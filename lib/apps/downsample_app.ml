@@ -15,7 +15,7 @@ let decimator () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs = [ ("out", List.assoc "in" inputs) ] in
+  let run _m ~alloc:_ inputs = [ ("out", List.assoc "in" inputs) ] in
   Spec.v ~class_name:"Decimate 2x2"
     ~inputs:
       [ Port.input "in" (Bp_geometry.Window.v ~step:(Step.v 2 2) Size.one) ]

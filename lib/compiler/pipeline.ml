@@ -85,9 +85,10 @@ let processors_needed t ~greedy =
   if greedy then List.length (Multiplex.greedy t.machine t.graph)
   else List.length (Multiplex.one_to_one t.graph)
 
-let simulate ?max_time_s t ~greedy =
+let simulate ?max_time_s ?pool t ~greedy =
   let mapping = if greedy then mapping_greedy t else mapping_one_to_one t in
-  Bp_sim.Sim.run ?max_time_s ~graph:t.graph ~mapping ~machine:t.machine ()
+  Bp_sim.Sim.run ?max_time_s ?pool ~graph:t.graph ~mapping ~machine:t.machine
+    ()
 
 let pp_summary ppf t =
   Format.fprintf ppf

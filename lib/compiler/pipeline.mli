@@ -54,8 +54,9 @@ val mapping_greedy : t -> Bp_sim.Mapping.t
 val processors_needed : t -> greedy:bool -> int
 
 val simulate :
-  ?max_time_s:float -> t -> greedy:bool -> Bp_sim.Sim.result
-(** Convenience: simulate the compiled program under the chosen mapping. *)
+  ?max_time_s:float -> ?pool:bool -> t -> greedy:bool -> Bp_sim.Sim.result
+(** Convenience: simulate the compiled program under the chosen mapping.
+    [pool] is passed through to {!Bp_sim.Sim.run} (default: pooled). *)
 
 val pp_summary : Format.formatter -> t -> unit
 

@@ -15,6 +15,7 @@ module Inset = Bp_geometry.Inset
 module Rate = Bp_geometry.Rate
 module Image = Bp_image.Image
 module Image_ops = Bp_image.Ops
+module Pool = Bp_image.Pool
 module Token = Bp_token.Token
 
 (** {1 The kernel model} *)

@@ -13,6 +13,7 @@ let init (s : Size.t) f =
 let width t = t.w
 let height t = t.h
 let size t = Size.v t.w t.h
+let unsafe_data t = t.data
 
 let check t x y =
   if x < 0 || y < 0 || x >= t.w || y >= t.h then
@@ -40,6 +41,15 @@ let sub t ~x ~y (s : Size.t) =
   done;
   out
 
+let sub_into t ~x ~y ~dst =
+  if x < 0 || y < 0 || x + dst.w > t.w || y + dst.h > t.h then
+    invalid_arg
+      (Printf.sprintf "Image.sub_into: window %dx%d@(%d,%d) escapes %dx%d"
+         dst.w dst.h x y t.w t.h);
+  for j = 0 to dst.h - 1 do
+    Array.blit t.data (((y + j) * t.w) + x) dst.data (j * dst.w) dst.w
+  done
+
 let blit ~src ~dst ~x ~y =
   if x < 0 || y < 0 || x + src.w > dst.w || y + src.h > dst.h then
     invalid_arg "Image.blit: source escapes destination";
@@ -50,9 +60,24 @@ let blit ~src ~dst ~x ~y =
 let fill t v = Array.fill t.data 0 (Array.length t.data) v
 let map f t = { t with data = Array.map f t.data }
 
+let map_into f ~src ~dst =
+  if src.w <> dst.w || src.h <> dst.h then
+    invalid_arg "Image.map_into: extent mismatch";
+  for i = 0 to Array.length src.data - 1 do
+    Array.unsafe_set dst.data i (f (Array.unsafe_get src.data i))
+  done
+
 let map2 f a b =
   if a.w <> b.w || a.h <> b.h then invalid_arg "Image.map2: extent mismatch";
   { a with data = Array.map2 f a.data b.data }
+
+let map2_into f a b ~dst =
+  if a.w <> b.w || a.h <> b.h || a.w <> dst.w || a.h <> dst.h then
+    invalid_arg "Image.map2_into: extent mismatch";
+  for i = 0 to Array.length a.data - 1 do
+    Array.unsafe_set dst.data i
+      (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
+  done
 
 let fold f acc t = Array.fold_left f acc t.data
 

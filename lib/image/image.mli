@@ -18,6 +18,14 @@ val width : t -> int
 val height : t -> int
 val size : t -> Bp_geometry.Size.t
 
+val unsafe_data : t -> float array
+(** The backing scan-line array (row-major, length [width * height]), not a
+    copy. Escape hatch for proven-hot loops: without flambda, every
+    cross-module {!get}/{!set} call boxes its float, which dominates the
+    simulator's allocation profile — indexing the raw array keeps the
+    arithmetic unboxed. Callers take on bounds discipline themselves;
+    everything else should go through the checked accessors. *)
+
 val get : t -> x:int -> y:int -> float
 (** [get img ~x ~y]. Raises [Invalid_argument] out of bounds. *)
 
@@ -32,6 +40,12 @@ val sub : t -> x:int -> y:int -> Bp_geometry.Size.t -> t
     is [(x,y)]. Raises [Invalid_argument] when the window escapes the
     image. *)
 
+val sub_into : t -> x:int -> y:int -> dst:t -> unit
+(** [sub_into img ~x ~y ~dst] extracts the [size dst]-sized window whose
+    upper-left corner is [(x,y)] into [dst], overwriting every pixel of
+    [dst] — the in-place counterpart of {!sub}. Raises [Invalid_argument]
+    when the window escapes the image. *)
+
 val blit : src:t -> dst:t -> x:int -> y:int -> unit
 (** [blit ~src ~dst ~x ~y] writes [src] into [dst] at [(x,y)]. *)
 
@@ -41,6 +55,14 @@ val fill : t -> float -> unit
 val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
 (** Pointwise combination; extents must match ([Invalid_argument]). *)
+
+val map_into : (float -> float) -> src:t -> dst:t -> unit
+(** In-place counterpart of {!map}; [src == dst] is allowed. Extents must
+    match ([Invalid_argument]). *)
+
+val map2_into : (float -> float -> float) -> t -> t -> dst:t -> unit
+(** In-place counterpart of {!map2}; [dst] may alias either input. All
+    three extents must match ([Invalid_argument]). *)
 
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 (** Scan-line order fold (left-to-right, top-to-bottom). *)

@@ -13,11 +13,25 @@ val convolve : Image.t -> kernel:Image.t -> Image.t
     convolution used by the paper's kernel (coefficients flipped, as in
     Figure 6). *)
 
+val convolve_into : Image.t -> kernel:Image.t -> dst:Image.t -> unit
+(** In-place counterpart of {!convolve}: [dst] must have the valid-region
+    extent ([Invalid_argument] otherwise) and is fully overwritten. Used by
+    the pooled data plane; bit-identical to the allocating form. *)
+
 val median : Image.t -> w:int -> h:int -> Image.t
 (** Valid-region [w]×[h] median filter. *)
 
+val median_into :
+  ?scratch:float array -> Image.t -> w:int -> h:int -> dst:Image.t -> unit
+(** In-place counterpart of {!median}. [scratch], when given, must have
+    length [w*h] and is used as the sort window (lets steady-state callers
+    avoid the per-call window allocation). *)
+
 val subtract : Image.t -> Image.t -> Image.t
 (** Pointwise difference; extents must match. *)
+
+val subtract_into : Image.t -> Image.t -> dst:Image.t -> unit
+(** In-place counterpart of {!subtract}; [dst] may alias either input. *)
 
 val gain : Image.t -> float -> Image.t
 (** Pointwise scale. *)
@@ -38,6 +52,15 @@ val pad_mirror : Image.t -> left:int -> right:int -> top:int -> bottom:int -> Im
 
 val downsample : Image.t -> fx:int -> fy:int -> Image.t
 (** Keep every [fx]-th column and [fy]-th row starting at the origin. *)
+
+val downsample_extent : Image.t -> fx:int -> fy:int -> Bp_geometry.Size.t
+(** The extent {!downsample} would produce ([Invalid_argument] on
+    non-positive factors) — what a caller must [acquire] for
+    {!downsample_into}. *)
+
+val downsample_into : Image.t -> fx:int -> fy:int -> dst:Image.t -> unit
+(** In-place counterpart of {!downsample}; [dst] must have
+    {!downsample_extent}. *)
 
 val bayer_demosaic : Image.t -> Image.t * Image.t * Image.t
 (** [bayer_demosaic raw] is a simple RGGB bilinear demosaic producing the

@@ -1,0 +1,83 @@
+open Bp_geometry
+
+(* A shelf is a LIFO stack of idle images that all share one extent. LIFO
+   keeps the hottest (cache-warm) buffer on top. Vacated slots are
+   overwritten with a shared dummy so a shelf never pins an image the pool
+   has already handed back out. *)
+type shelf = { mutable items : Image.t array; mutable n : int }
+
+type t = {
+  shelves : (int, shelf) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable releases : int;
+}
+
+type stats = { hits : int; misses : int; releases : int; live : int }
+
+let dummy = Image.create Size.one
+
+(* Extents are packed into one immediate int so the shelf lookup allocates
+   nothing. 2^20 rows is far beyond any frame this simulator moves. *)
+let key (s : Size.t) =
+  if s.h >= 1 lsl 20 then
+    invalid_arg (Printf.sprintf "Pool: image height %d too large" s.h);
+  (s.w lsl 20) lor s.h
+
+let create () = { shelves = Hashtbl.create 16; hits = 0; misses = 0; releases = 0 }
+
+let acquire t (s : Size.t) =
+  match Hashtbl.find_opt t.shelves (key s) with
+  | Some shelf when shelf.n > 0 ->
+    let i = shelf.n - 1 in
+    let img = shelf.items.(i) in
+    shelf.items.(i) <- dummy;
+    shelf.n <- i;
+    t.hits <- t.hits + 1;
+    (* Zero the recycled buffer so pooled and allocation-naive executions
+       are bit-identical: [Image.create] also hands out all-zero pixels. *)
+    Image.fill img 0.;
+    img
+  | _ ->
+    t.misses <- t.misses + 1;
+    Image.create s
+
+let release t img =
+  let k = key (Image.size img) in
+  let shelf =
+    match Hashtbl.find_opt t.shelves k with
+    | Some s -> s
+    | None ->
+      let s = { items = Array.make 8 dummy; n = 0 } in
+      Hashtbl.add t.shelves k s;
+      s
+  in
+  if shelf.n = Array.length shelf.items then begin
+    let grown = Array.make (2 * shelf.n) dummy in
+    Array.blit shelf.items 0 grown 0 shelf.n;
+    shelf.items <- grown
+  end;
+  shelf.items.(shelf.n) <- img;
+  shelf.n <- shelf.n + 1;
+  t.releases <- t.releases + 1
+
+let stats (t : t) : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    releases = t.releases;
+    live = t.hits + t.misses - t.releases;
+  }
+
+let hit_rate (t : t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let check_no_live_leaks t =
+  let s = stats t in
+  if s.live <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Pool.check_no_live_leaks: %d chunk(s) still live (%d acquired, %d \
+          released)"
+         s.live (s.hits + s.misses) s.releases)

@@ -5,6 +5,8 @@ type io = {
   pop : string -> Item.t;
   push : string -> Item.t -> unit;
   space : string -> int;
+  acquire : Bp_geometry.Size.t -> Bp_image.Image.t;
+  release : Bp_image.Image.t -> unit;
 }
 
 type fired = { method_name : string; cycles : int }
@@ -12,10 +14,15 @@ type t = { try_step : io -> fired option }
 
 let forward_method_name = "<forward-token>"
 
-type data_run =
-  (string * Bp_image.Image.t) list -> (string * Bp_image.Image.t) list
+type alloc = Bp_geometry.Size.t -> Bp_image.Image.t
 
-type token_run = Bp_token.Token.t -> (string * Bp_image.Image.t) list
+type data_run =
+  alloc:alloc ->
+  (string * Bp_image.Image.t) list ->
+  (string * Bp_image.Image.t) list
+
+type token_run =
+  alloc:alloc -> Bp_token.Token.t -> (string * Bp_image.Image.t) list
 
 let pop_data io input =
   match io.pop input with
@@ -30,32 +37,41 @@ let front_is_data io input =
 let front_token io input =
   match io.peek input with Some (Item.Ctl tok) -> Some tok | _ -> None
 
+(* The helpers below are written as top-level recursions rather than
+   List closures on purpose: a closure that captures [io] or a chunk
+   list is allocated afresh on every firing, and the firing path is the
+   simulator's innermost loop. *)
+
+let rec check_declared name outs = function
+  | [] -> ()
+  | (out, _) :: rest ->
+    if not (List.mem out outs) then
+      Err.graphf "method %s wrote undeclared output %S" name out;
+    check_declared name outs rest
+
+let rec push_declared io results = function
+  | [] -> ()
+  | out :: rest ->
+    (match List.assoc_opt out results with
+    | Some chunk -> io.push out (Item.data chunk)
+    | None -> ());
+    push_declared io results rest
+
 (* Push the chunks a method body returned, in the method's declared output
    order, validating that the body only wrote declared outputs. *)
 let push_results io (m : Method_spec.t) results =
-  List.iter
-    (fun (out, _) ->
-      if not (List.mem out m.Method_spec.outputs) then
-        Err.graphf "method %s wrote undeclared output %S" m.Method_spec.name
-          out)
-    results;
-  List.iter
-    (fun out ->
-      match List.assoc_opt out results with
-      | Some chunk -> io.push out (Item.data chunk)
-      | None -> ())
-    m.Method_spec.outputs
+  check_declared m.Method_spec.name m.Method_spec.outputs results;
+  push_declared io results m.Method_spec.outputs
 
 (* The fronts of a method's trigger inputs, or None when a queue is empty. *)
-let fronts io inputs =
-  let rec collect acc = function
-    | [] -> Some (List.rev acc)
-    | input :: rest -> (
-      match io.peek input with
-      | None -> None
-      | Some item -> collect ((input, item) :: acc) rest)
-  in
-  collect [] inputs
+let rec fronts_collect io acc = function
+  | [] -> Some (List.rev acc)
+  | input :: rest -> (
+    match io.peek input with
+    | None -> None
+    | Some item -> fronts_collect io ((input, item) :: acc) rest)
+
+let fronts io inputs = fronts_collect io [] inputs
 
 let all_data items = List.for_all (fun (_, item) -> Item.is_data item) items
 
@@ -73,89 +89,137 @@ let matching_token items =
       in
       if List.for_all same rest then Some tok else None)
 
+let rec space_ok io need = function
+  | [] -> true
+  | out :: rest -> io.space out >= need && space_ok io need rest
+
+let rec pop_chunks io = function
+  | [] -> []
+  | (input, _) :: rest ->
+    let chunk = Item.chunk_exn (io.pop input) in
+    (input, chunk) :: pop_chunks io rest
+
+let rec phys_mem_result img = function
+  | [] -> false
+  | (_, r) :: rest -> r == img || phys_mem_result img rest
+
+let rec release_consumed io results = function
+  | [] -> ()
+  | (_, img) :: rest ->
+    if not (phys_mem_result img results) then io.release img;
+    release_consumed io results rest
+
+let rec pop_all io = function
+  | [] -> ()
+  | (input, _) :: rest ->
+    ignore (io.pop input);
+    pop_all io rest
+
+let rec push_token io tok = function
+  | [] -> ()
+  | out :: rest ->
+    io.push out (Item.ctl tok);
+    push_token io tok rest
+
+(* A data method with its trigger-input list and success value resolved
+   once at kernel construction (both would otherwise be rebuilt — and the
+   [Some fired] allocated — on every firing). *)
+type prepared = {
+  pm : Method_spec.t;
+  pm_inputs : string list;
+  pm_fired : fired option;
+}
+
 let iteration_kernel ?(token_forward_cycles = 2) ~methods ~run
-    ?(token_run = fun _ _ -> []) () =
-  let data_methods =
-    List.filter
-      (fun m ->
-        match m.Method_spec.trigger with
-        | Method_spec.On_data _ -> true
-        | Method_spec.On_token _ -> false)
+    ?(token_run = fun _ ~alloc:_ _ -> []) () =
+  let interned =
+    List.map
+      (fun (m : Method_spec.t) ->
+        ( m,
+          Some { method_name = m.Method_spec.name; cycles = m.Method_spec.cycles }
+        ))
       methods
+  in
+  let fired_of m = List.assq m interned in
+  let data_methods =
+    List.filter_map
+      (fun (m : Method_spec.t) ->
+        match m.Method_spec.trigger with
+        | Method_spec.On_data _ ->
+          Some
+            {
+              pm = m;
+              pm_inputs = Method_spec.trigger_inputs m;
+              pm_fired = fired_of m;
+            }
+        | Method_spec.On_token _ -> None)
+      methods
+  in
+  let forward_fired =
+    Some { method_name = forward_method_name; cycles = token_forward_cycles }
   in
   let token_handler inputs kind =
     List.find_opt
-      (fun m ->
+      (fun (m : Method_spec.t) ->
         match m.Method_spec.trigger with
         | Method_spec.On_token (input, k) ->
           List.mem input inputs && Bp_token.Token.kind_equal k kind
         | Method_spec.On_data _ -> false)
       methods
   in
-  let space_ok io outputs need =
-    List.for_all (fun out -> io.space out >= need) outputs
-  in
-  let try_data_method io (m : Method_spec.t) items =
-    if not (space_ok io m.outputs 1) then None
+  let try_data_method io (p : prepared) items =
+    if not (space_ok io 1 p.pm.Method_spec.outputs) then None
     else begin
-      let chunks =
-        List.map (fun (input, _) -> (input, Item.chunk_exn (io.pop input))) items
-      in
-      push_results io m (run m.Method_spec.name chunks);
-      Some { method_name = m.Method_spec.name; cycles = m.Method_spec.cycles }
+      let chunks = pop_chunks io items in
+      let results = run p.pm.Method_spec.name ~alloc:io.acquire chunks in
+      push_results io p.pm results;
+      (* Popped chunks the body did not forward onward are dead: return
+         them to the pool. The physical-equality check keeps pass-through
+         bodies (decimate, token-tagged forwards) from releasing a chunk
+         whose ownership they just transferred by pushing it. *)
+      release_consumed io results chunks;
+      p.pm_fired
     end
   in
-  let try_token io (m : Method_spec.t) items (tok : Bp_token.Token.t) =
-    let inputs = List.map fst items in
-    match token_handler inputs tok.kind with
+  let try_token io (p : prepared) items (tok : Bp_token.Token.t) =
+    match token_handler p.pm_inputs tok.kind with
     | Some h ->
       (* A handler may emit one chunk per output plus the forwarded token. *)
-      if not (space_ok io h.Method_spec.outputs 2) then None
+      if not (space_ok io 2 h.Method_spec.outputs) then None
       else begin
-        List.iter (fun (input, _) -> ignore (io.pop input)) items;
-        push_results io h (token_run h.Method_spec.name tok);
+        pop_all io items;
+        push_results io h (token_run h.Method_spec.name ~alloc:io.acquire tok);
         if h.Method_spec.forward_token then
-          List.iter
-            (fun out -> io.push out (Item.ctl tok))
-            h.Method_spec.outputs;
-        Some
-          {
-            method_name = h.Method_spec.name;
-            cycles = h.Method_spec.cycles;
-          }
+          push_token io tok h.Method_spec.outputs;
+        fired_of h
       end
     | None ->
-      if not (space_ok io m.Method_spec.outputs 1) then None
+      if not (space_ok io 1 p.pm.Method_spec.outputs) then None
       else begin
-        List.iter (fun (input, _) -> ignore (io.pop input)) items;
-        List.iter
-          (fun out -> io.push out (Item.ctl tok))
-          m.Method_spec.outputs;
-        Some { method_name = forward_method_name; cycles = token_forward_cycles }
+        pop_all io items;
+        push_token io tok p.pm.Method_spec.outputs;
+        forward_fired
       end
   in
-  let try_step io =
-    let rec attempt = function
-      | [] -> None
-      | m :: rest -> (
-        let inputs = Method_spec.trigger_inputs m in
-        match fronts io inputs with
-        | None -> attempt rest
-        | Some items -> (
-          if all_data items then
-            match try_data_method io m items with
-            | Some f -> Some f
-            | None -> attempt rest
-          else
-            match matching_token items with
-            | Some tok -> (
-              match try_token io m items tok with
-              | Some f -> Some f
-              | None -> attempt rest)
-            | None ->
-              (* Mixed fronts: wait for the streams to re-align. *)
-              attempt rest))
-    in
-    attempt data_methods
+  let rec attempt io = function
+    | [] -> None
+    | p :: rest -> (
+      match fronts io p.pm_inputs with
+      | None -> attempt io rest
+      | Some items -> (
+        if all_data items then
+          match try_data_method io p items with
+          | Some _ as f -> f
+          | None -> attempt io rest
+        else
+          match matching_token items with
+          | Some tok -> (
+            match try_token io p items tok with
+            | Some _ as f -> f
+            | None -> attempt io rest)
+          | None ->
+            (* Mixed fronts: wait for the streams to re-align. *)
+            attempt io rest))
   in
+  let try_step io = attempt io data_methods in
   { try_step }

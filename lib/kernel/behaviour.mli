@@ -32,6 +32,14 @@ type io = {
   space : string -> int;
       (** Free item slots on an output — the minimum across its fan-out
           channels. *)
+  acquire : Bp_geometry.Size.t -> Bp_image.Image.t;
+      (** An all-zero chunk of the given extent, recycled from the engine's
+          pool when one is idle. The caller owns it: push it onward or
+          {!field-release} it. *)
+  release : Bp_image.Image.t -> unit;
+      (** Return a chunk whose ownership ended here (popped and not
+          forwarded, or acquired and discarded) to the engine's pool. The
+          allocation-naive reference engine wires this to [ignore]. *)
 }
 
 type fired = { method_name : string; cycles : int }
@@ -44,15 +52,29 @@ val forward_method_name : string
 (** The pseudo-method name reported when a step merely forwarded an
     unhandled control token. *)
 
+type alloc = Bp_geometry.Size.t -> Bp_image.Image.t
+(** How a method body obtains output chunks: wired to {!field-acquire} by
+    {!iteration_kernel}, so steady-state firings recycle instead of
+    allocating. Bodies must treat the result as all-zero scratch they now
+    own. *)
+
 type data_run =
-  (string * Bp_image.Image.t) list -> (string * Bp_image.Image.t) list
+  alloc:alloc ->
+  (string * Bp_image.Image.t) list ->
+  (string * Bp_image.Image.t) list
 (** A data method body: consumed chunks keyed by input name, in trigger
     order, to produced chunks keyed by output name (at most one per output;
-    outputs may be omitted). *)
+    outputs may be omitted). Ownership contract: every returned chunk is
+    transferred to the runtime; every input chunk not returned (by physical
+    identity) is released back to the pool after the body runs — so a body
+    must not stash an input image in its state (copy or blit it instead),
+    and must obtain fresh outputs from [alloc], never from a captured
+    cache. *)
 
 type token_run =
-  Bp_token.Token.t -> (string * Bp_image.Image.t) list
-(** A token method body (e.g. emit the finished histogram on EOF). *)
+  alloc:alloc -> Bp_token.Token.t -> (string * Bp_image.Image.t) list
+(** A token method body (e.g. emit the finished histogram on EOF). Same
+    ownership contract for returned chunks as {!data_run}. *)
 
 val iteration_kernel :
   ?token_forward_cycles:int ->

@@ -10,9 +10,11 @@ let binary ~class_name ~cycles f () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs =
+  let run _m ~alloc inputs =
     let a = List.assoc "in0" inputs and b = List.assoc "in1" inputs in
-    [ ("out", Bp_image.Image.map2 f a b) ]
+    let out = alloc (Bp_image.Image.size a) in
+    Bp_image.Image.map2_into f a b ~dst:out;
+    [ ("out", out) ]
   in
   Spec.v ~class_name
     ~inputs:[ Port.input "in0" pixel_port; Port.input "in1" pixel_port ]
@@ -37,8 +39,11 @@ let unary ~class_name ~cycles f () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs =
-    [ ("out", Bp_image.Image.map f (List.assoc "in" inputs)) ]
+  let run _m ~alloc inputs =
+    let src = List.assoc "in" inputs in
+    let out = alloc (Bp_image.Image.size src) in
+    Bp_image.Image.map_into f ~src ~dst:out;
+    [ ("out", out) ]
   in
   Spec.v ~class_name
     ~inputs:[ Port.input "in" pixel_port ]

@@ -28,7 +28,7 @@ let rec make ?(cycles = Costs.bayer) ~frame ~start ~stride () =
        advances by [stride] and resets each frame — the paper's
        "programmatic" parallelization of a position-dependent kernel. *)
     let fires = ref 0 in
-    let run _m inputs =
+    let run _m ~alloc inputs =
       let win = List.assoc "in" inputs in
       let idx = start + (!fires * stride) in
       fires := (!fires + 1) mod fires_per_frame;
@@ -62,7 +62,11 @@ let rec make ?(cycles = Costs.bayer) ~frame ~start ~stride () =
             g ~x:0 ~y:0,
             (g ~x:(-1) ~y:0 +. g ~x:1 ~y:0) /. 2. )
       in
-      let px v = Image.Gen.constant Size.one v in
+      let px v =
+        let p = alloc Size.one in
+        Image.set p ~x:0 ~y:0 v;
+        p
+      in
       [ ("r", px r); ("g", px gr); ("b", px b) ]
     in
     Behaviour.iteration_kernel ~methods ~run ()

@@ -4,6 +4,20 @@ module Image = Bp_image.Image
 module Token = Bp_token.Token
 module Err = Bp_util.Err
 
+(* Interned success values: a fresh [Some fired] per firing would be
+   a steady five-word allocation on the simulator's hottest path. *)
+let fired_emitWindow =
+  Some { Behaviour.method_name = "emitWindow"; cycles = Costs.buffer_store }
+let fired_storeBlock =
+  Some { Behaviour.method_name = "storeBlock"; cycles = Costs.buffer_store }
+let fired_consumeEol =
+  Some { Behaviour.method_name = "consumeEol"; cycles = 1 }
+let fired_consumeEof =
+  Some { Behaviour.method_name = "consumeEof"; cycles = 2 }
+let fired_forwardUser =
+  Some { Behaviour.method_name = "forwardUser"; cycles = 1 }
+
+
 type config = {
   in_block : Size.t;
   out_window : Window.t;
@@ -82,15 +96,19 @@ let spec ?class_name cfg =
       let need_block = ((last_y / bh) * blocks_per_row) + (last_x / bw) in
       st.blocks_in > need_block
     in
-    let read_pixel ~x ~y =
+    (* Row copies go through [Array.blit] on the raw scan lines: the
+       buffer moves every pixel of every window, and per-pixel accessor
+       calls would box a float each (no flambda). *)
+    let checked_slot y =
       let slot = y mod r in
       if st.row_ids.(slot) <> y then
         Err.graphf
           "buffer %s: row %d was overwritten before use (storage too small)"
           class_name y;
-      st.store.(slot).(x)
+      slot
     in
     let store_block ~bx ~by img =
+      let src = Image.unsafe_data img in
       for j = 0 to bh - 1 do
         let y = (by * bh) + j in
         let slot = y mod r in
@@ -98,9 +116,7 @@ let spec ?class_name cfg =
           st.row_ids.(slot) <- y;
           Array.fill st.store.(slot) 0 fw 0.
         end;
-        for i = 0 to bw - 1 do
-          st.store.(slot).((bx * bw) + i) <- Image.get img ~x:i ~y:j
-        done
+        Array.blit src (j * bw) st.store.(slot) (bx * bw) bw
       done
     in
     let try_step (io : Behaviour.io) =
@@ -110,9 +126,12 @@ let spec ?class_name cfg =
         if io.space "out" < 3 then None
         else begin
           let ox = st.wx * sx and oy = st.wy * sy in
-          let out =
-            Image.init win (fun ~x ~y -> read_pixel ~x:(ox + x) ~y:(oy + y))
-          in
+          let out = io.acquire win in
+          let out_d = Image.unsafe_data out in
+          for y = 0 to win.Size.h - 1 do
+            let slot = checked_slot (oy + y) in
+            Array.blit st.store.(slot) ox out_d (y * win.Size.w) win.Size.w
+          done;
           io.push "out" (Item.data out);
           let end_of_row = st.wx = iter.Size.w - 1 in
           let end_of_frame = end_of_row && st.wy = iter.Size.h - 1 in
@@ -129,8 +148,7 @@ let spec ?class_name cfg =
             st.wy <- st.wy + 1
           end
           else st.wx <- st.wx + 1;
-          Some
-            { Behaviour.method_name = "emitWindow"; cycles = Costs.buffer_store }
+          fired_emitWindow
         end
       end
       else
@@ -144,14 +162,14 @@ let spec ?class_name cfg =
           let bx = st.blocks_in mod blocks_per_row
           and by = st.blocks_in / blocks_per_row in
           store_block ~bx ~by img;
+          io.release img;
           st.blocks_in <- st.blocks_in + 1;
-          Some
-            { Behaviour.method_name = "storeBlock"; cycles = Costs.buffer_store }
+          fired_storeBlock
         | Some (Item.Ctl tok) -> (
           match tok.Token.kind with
           | Token.End_of_line ->
             ignore (io.pop "in");
-            Some { Behaviour.method_name = "consumeEol"; cycles = 1 }
+            fired_consumeEol
           | Token.End_of_frame ->
             (* Only consume the input EOF once every window of the frame
                has been emitted (window_available is false and the cursor
@@ -164,7 +182,7 @@ let spec ?class_name cfg =
               st.wy <- 0;
               st.frame_idx <- st.frame_idx + 1;
               Array.fill st.row_ids 0 r (-1);
-              Some { Behaviour.method_name = "consumeEof"; cycles = 2 }
+              fired_consumeEof
             end
           | Token.User _ ->
             (* Forward user tokens in order with the data. *)
@@ -172,7 +190,7 @@ let spec ?class_name cfg =
             else begin
               ignore (io.pop "in");
               io.push "out" (Item.ctl tok);
-              Some { Behaviour.method_name = "forwardUser"; cycles = 1 }
+              fired_forwardUser
             end)
     in
     { Behaviour.try_step }

@@ -24,14 +24,21 @@ let spec ?cycles ~w ~h () =
   let make_behaviour () =
     (* Private state shared between the two methods, as in the paper's
        Java kernel: [loadCoeff] writes it, [runConvolve] reads it. *)
-    let coeff = ref (Bp_image.Image.create (Size.v w h)) in
-    let run m inputs =
+    let coeff = Bp_image.Image.create (Size.v w h) in
+    let run m ~alloc inputs =
       match m with
       | "runConvolve" ->
         let window = List.assoc "in" inputs in
-        [ ("out", Bp_image.Ops.convolve window ~kernel:!coeff) ]
+        let out = alloc Size.one in
+        Bp_image.Ops.convolve_into window ~kernel:coeff ~dst:out;
+        [ ("out", out) ]
       | "loadCoeff" ->
-        coeff := List.assoc "coeff" inputs;
+        (* Copy into private state instead of retaining the input chunk:
+           the runtime releases consumed inputs back to the pool, so a
+           retained reference would be recycled under us. *)
+        Bp_image.Image.blit
+          ~src:(List.assoc "coeff" inputs)
+          ~dst:coeff ~x:0 ~y:0;
         []
       | other -> Bp_util.Err.graphf "convolution: unknown method %S" other
     in

@@ -10,7 +10,9 @@ let spec ?(cycles = 2) ~fx ~fy () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs = [ ("out", List.assoc "in" inputs) ] in
+  (* Pass-through: returning the input chunk transfers its ownership
+     onward, so the runtime will not release it. *)
+  let run _m ~alloc:_ inputs = [ ("out", List.assoc "in" inputs) ] in
   Spec.v
     ~class_name:(Printf.sprintf "Decimate %dx%d" fx fy)
     ~inputs:[ Port.input "in" (Window.v ~step:(Step.v fx fy) Size.one) ]

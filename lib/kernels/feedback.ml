@@ -3,6 +3,18 @@ open Bp_geometry
 module Image = Bp_image.Image
 module Err = Bp_util.Err
 
+(* Interned success values: a fresh [Some fired] per firing would be
+   a steady five-word allocation on the simulator's hottest path. *)
+let fired_emitInitial =
+  Some { Behaviour.method_name = "emitInitial"; cycles = 1 }
+let fired_forward =
+  Some { Behaviour.method_name = "forward"; cycles = 1 }
+let fired_dropToken =
+  Some { Behaviour.method_name = "dropToken"; cycles = 1 }
+let fired_forwardToken =
+  Some { Behaviour.method_name = "forwardToken"; cycles = 1 }
+
+
 let init ?(class_name = "Loop Init") ~window ~initial () =
   List.iter
     (fun img ->
@@ -20,7 +32,7 @@ let init ?(class_name = "Loop Init") ~window ~initial () =
         else begin
           io.push "out" (Item.data chunk);
           pending := rest;
-          Some { Behaviour.method_name = "emitInitial"; cycles = 1 }
+          fired_emitInitial
         end
       | [] -> (
         match io.peek "in" with
@@ -29,12 +41,12 @@ let init ?(class_name = "Loop Init") ~window ~initial () =
           if io.space "out" < 1 then None
           else begin
             io.push "out" (Item.data (Behaviour.pop_data io "in"));
-            Some { Behaviour.method_name = "forward"; cycles = 1 }
+            fired_forward
           end
         | Some (Item.Ctl _) ->
           (* Tokens do not recirculate around the loop. *)
           ignore (io.pop "in");
-          Some { Behaviour.method_name = "dropToken"; cycles = 1 })
+          fired_dropToken)
     in
     { Behaviour.try_step }
   in
@@ -45,6 +57,7 @@ let init ?(class_name = "Loop Init") ~window ~initial () =
     ~methods:[] ~make_behaviour ()
 
 let loop_combine ?(class_name = "Loop Combine") ?(cycles = 4) f =
+  let fired_combine = Some { Behaviour.method_name = "combine"; cycles } in
   let make_behaviour () =
     let try_step (io : Behaviour.io) =
       match io.peek "in0" with
@@ -56,15 +69,19 @@ let loop_combine ?(class_name = "Loop Combine") ?(cycles = 4) f =
         else begin
           ignore (io.pop "in0");
           io.push "out" (Item.ctl tok);
-          Some { Behaviour.method_name = "forwardToken"; cycles = 1 }
+          fired_forwardToken
         end
       | Some (Item.Data _) -> (
         match io.peek "in1" with
         | Some (Item.Data _) when io.space "out" >= 1 ->
           let a = Behaviour.pop_data io "in0" in
           let b = Behaviour.pop_data io "in1" in
-          io.push "out" (Item.data (Image.map2 f a b));
-          Some { Behaviour.method_name = "combine"; cycles }
+          let out = io.acquire (Image.size a) in
+          Image.map2_into f a b ~dst:out;
+          io.push "out" (Item.data out);
+          io.release a;
+          io.release b;
+          fired_combine
         | Some (Item.Ctl _) ->
           Err.graphf "%s: unexpected token on the feedback input" class_name
         | Some (Item.Data _) | None -> None)

@@ -55,7 +55,7 @@ let spec ?count_cycles ~bins () =
   let make_behaviour () =
     let counts = Array.make bins 0. in
     let ranges = Array.make bins 0. in
-    let run m inputs =
+    let run m ~alloc:_ inputs =
       match m with
       | "count" ->
         let v = Image.get (List.assoc "in" inputs) ~x:0 ~y:0 in
@@ -71,10 +71,13 @@ let spec ?count_cycles ~bins () =
         []
       | other -> Bp_util.Err.graphf "histogram: unknown method %S" other
     in
-    let token_run m _tok =
+    let token_run m ~alloc _tok =
       match m with
       | "finishCount" ->
-        let out = Image.init (Size.v bins 1) (fun ~x ~y:_ -> counts.(x)) in
+        let out = alloc (Size.v bins 1) in
+        for i = 0 to bins - 1 do
+          Image.set out ~x:i ~y:0 counts.(i)
+        done;
         Array.fill counts 0 bins 0.;
         [ ("out", out) ]
       | other -> Bp_util.Err.graphf "histogram: unknown token method %S" other
@@ -104,7 +107,7 @@ let merge ~bins () =
   in
   let make_behaviour () =
     let sums = Array.make bins 0. in
-    let run m inputs =
+    let run m ~alloc:_ inputs =
       match m with
       | "accumulate" ->
         let img = List.assoc "in" inputs in
@@ -114,10 +117,13 @@ let merge ~bins () =
         []
       | other -> Bp_util.Err.graphf "merge: unknown method %S" other
     in
-    let token_run m _tok =
+    let token_run m ~alloc _tok =
       match m with
       | "emit" ->
-        let out = Image.init (Size.v bins 1) (fun ~x ~y:_ -> sums.(x)) in
+        let out = alloc (Size.v bins 1) in
+        for i = 0 to bins - 1 do
+          Image.set out ~x:i ~y:0 sums.(i)
+        done;
         Array.fill sums 0 bins 0.;
         [ ("out", out) ]
       | other -> Bp_util.Err.graphf "merge: unknown token method %S" other

@@ -4,6 +4,24 @@ module Image = Bp_image.Image
 module Token = Bp_token.Token
 module Err = Bp_util.Err
 
+(* Interned success values: a fresh [Some fired] per firing would be
+   a steady five-word allocation on the simulator's hottest path. *)
+let fired_filter =
+  Some { Behaviour.method_name = "filter"; cycles = Costs.inset }
+let fired_consumeEol =
+  Some { Behaviour.method_name = "consumeEol"; cycles = 1 }
+let fired_emitEof =
+  Some { Behaviour.method_name = "emitEof"; cycles = 2 }
+let fired_forwardUser =
+  Some { Behaviour.method_name = "forwardUser"; cycles = 1 }
+let fired_consumeToken =
+  Some { Behaviour.method_name = "consumeToken"; cycles = 1 }
+let fired_emitPad =
+  Some { Behaviour.method_name = "emitPad"; cycles = Costs.pad }
+let fired_forward =
+  Some { Behaviour.method_name = "forward"; cycles = Costs.pad }
+
+
 let inset ?class_name ?(chunk = Window.pixel) ~grid ~left ~right ~top ~bottom
     () =
   if left < 0 || right < 0 || top < 0 || bottom < 0 then
@@ -32,19 +50,20 @@ let inset ?class_name ?(chunk = Window.pixel) ~grid ~left ~right ~top ~bottom
         if keep && io.space "out" < 1 then None
         else begin
           let img = Behaviour.pop_data io "in" in
-          if keep then io.push "out" (Item.data img);
+          if keep then io.push "out" (Item.data img)
+          else io.release img;
           x := !x + 1;
           if !x = grid.Size.w then begin
             x := 0;
             y := !y + 1
           end;
-          Some { Behaviour.method_name = "filter"; cycles = Costs.inset }
+          fired_filter
         end
       | Some (Item.Ctl tok) -> (
         match tok.Token.kind with
         | Token.End_of_line ->
           ignore (io.pop "in");
-          Some { Behaviour.method_name = "consumeEol"; cycles = 1 }
+          fired_consumeEol
         | Token.End_of_frame ->
           if io.space "out" < 1 then None
           else begin
@@ -53,14 +72,14 @@ let inset ?class_name ?(chunk = Window.pixel) ~grid ~left ~right ~top ~bottom
             x := 0;
             y := 0;
             incr frame_idx;
-            Some { Behaviour.method_name = "emitEof"; cycles = 2 }
+            fired_emitEof
           end
         | Token.User _ ->
           if io.space "out" < 1 then None
           else begin
             ignore (io.pop "in");
             io.push "out" (Item.ctl tok);
-            Some { Behaviour.method_name = "forwardUser"; cycles = 1 }
+            fired_forwardUser
           end)
     in
     { Behaviour.try_step }
@@ -83,7 +102,6 @@ let pad ?class_name ?(value = 0.) ~frame ~left ~right ~top ~bottom () =
     (* Cursor over the *padded* grid; positions inside the original frame
        require an input pixel, margin positions emit the constant. *)
     let ox = ref 0 and oy = ref 0 and frame_idx = ref 0 in
-    let zero_pixel () = Image.Gen.constant Size.one value in
     let in_margin () =
       !ox < left
       || !ox >= left + frame.Size.w
@@ -115,13 +133,13 @@ let pad ?class_name ?(value = 0.) ~frame ~left ~right ~top ~bottom () =
       | Some (Item.Ctl { Token.kind = Token.End_of_line | Token.End_of_frame; _ })
         ->
         ignore (io.pop "in");
-        Some { Behaviour.method_name = "consumeToken"; cycles = 1 }
+        fired_consumeToken
       | Some (Item.Ctl tok) ->
         if io.space "out" < 1 then None
         else begin
           ignore (io.pop "in");
           io.push "out" (Item.ctl tok);
-          Some { Behaviour.method_name = "forwardUser"; cycles = 1 }
+          fired_forwardUser
         end
       | (Some (Item.Data _) | None) as front ->
         if io.space "out" < 3 then None
@@ -130,9 +148,11 @@ let pad ?class_name ?(value = 0.) ~frame ~left ~right ~top ~bottom () =
              otherwise an exhausted input would trigger margins of a frame
              that never comes. *)
           if !seen_input || front <> None then begin
-            io.push "out" (Item.data (zero_pixel ()));
+            let px = io.acquire Size.one in
+            Image.set px ~x:0 ~y:0 value;
+            io.push "out" (Item.data px);
             if advance io then seen_input := false;
-            Some { Behaviour.method_name = "emitPad"; cycles = Costs.pad }
+            fired_emitPad
           end
           else None
         else (
@@ -143,7 +163,7 @@ let pad ?class_name ?(value = 0.) ~frame ~left ~right ~top ~bottom () =
             seen_input := true;
             io.push "out" (Item.data img);
             if advance io then seen_input := false;
-            Some { Behaviour.method_name = "forward"; cycles = Costs.pad })
+            fired_forward)
     in
     { Behaviour.try_step }
   in

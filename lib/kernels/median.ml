@@ -9,13 +9,19 @@ let spec ?cycles ~w ~h () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs =
-    [ ("out", Bp_image.Ops.median (List.assoc "in" inputs) ~w ~h) ]
+  let make_behaviour () =
+    (* One sort window per behaviour instance, reused across firings. *)
+    let scratch = Array.make (w * h) 0. in
+    let run _m ~alloc inputs =
+      let out = alloc Bp_geometry.Size.one in
+      Bp_image.Ops.median_into ~scratch (List.assoc "in" inputs) ~w ~h
+        ~dst:out;
+      [ ("out", out) ]
+    in
+    Behaviour.iteration_kernel ~methods ~run ()
   in
   Spec.v
     ~class_name:(Printf.sprintf "%dx%d Median" w h)
     ~inputs:[ Port.input "in" (Window.windowed w h) ]
     ~outputs:[ Port.output "out" Window.pixel ]
-    ~methods
-    ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
-    ()
+    ~methods ~make_behaviour ()

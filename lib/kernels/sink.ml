@@ -1,6 +1,12 @@
 open Bp_kernel
 module Token = Bp_token.Token
 
+(* Interned success values: a fresh [Some fired] per firing would be
+   a steady five-word allocation on the simulator's hottest path. *)
+let fired_consume =
+  Some { Behaviour.method_name = "consume"; cycles = 0 }
+
+
 type collector = {
   mutable closed_groups : Bp_image.Image.t list list;  (* newest first *)
   mutable current_group : Bp_image.Image.t list;  (* newest first *)
@@ -45,7 +51,7 @@ let spec ?(class_name = "Output") ~window c () =
             c.closed_groups <- c.current_group :: c.closed_groups;
             c.current_group <- []
           end);
-        Some { Behaviour.method_name = "consume"; cycles = 0 }
+        fired_consume
     in
     { Behaviour.try_step }
   in

@@ -3,6 +3,12 @@ open Bp_geometry
 module Image = Bp_image.Image
 module Token = Bp_token.Token
 
+(* Interned success values: a fresh [Some fired] per firing would be
+   a steady five-word allocation on the simulator's hottest path. *)
+let fired_emit =
+  Some { Behaviour.method_name = "emit"; cycles = 0 }
+
+
 let emissions_per_frame ~frame = Size.area frame
 
 (* The worst-case burst of one scheduled emission: the last pixel of a
@@ -31,9 +37,12 @@ let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
         (* One emission may carry pixel + EOL + EOF. *)
         if io.space "out" < emission_burst then None
         else begin
-          let pixel =
-            Image.init Size.one (fun ~x:_ ~y:_ -> Image.get img ~x:!x ~y:!y)
-          in
+          let pixel = io.acquire Size.one in
+          (* Raw move: the source fires once per pixel, so a boxed
+             get/set pair here costs four words per event. *)
+          Array.unsafe_set (Image.unsafe_data pixel) 0
+            (Array.unsafe_get (Image.unsafe_data img)
+               ((!y * frame.Size.w) + !x));
           io.push "out" (Item.data pixel);
           let end_of_row = !x = frame.Size.w - 1 in
           let end_of_frame = end_of_row && !y = frame.Size.h - 1 in
@@ -51,7 +60,7 @@ let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
             incr y
           end
           else incr x;
-          Some { Behaviour.method_name = "emit"; cycles = 0 }
+          fired_emit
         end
     in
     { Behaviour.try_step }
@@ -71,7 +80,7 @@ let const ?(class_name = "Const") ~chunk () =
       else begin
         io.push "out" (Item.data (Image.copy chunk));
         sent := true;
-        Some { Behaviour.method_name = "emit"; cycles = 0 }
+        fired_emit
       end
     in
     { Behaviour.try_step }

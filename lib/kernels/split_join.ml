@@ -1,7 +1,24 @@
 open Bp_kernel
 open Bp_geometry
+module Image = Bp_image.Image
 module Token = Bp_token.Token
 module Err = Bp_util.Err
+
+(* Interned success values: a fresh [Some fired] per firing would be
+   a steady five-word allocation on the simulator's hottest path. *)
+let fired_route =
+  Some { Behaviour.method_name = "route"; cycles = Costs.split }
+let fired_broadcast =
+  Some { Behaviour.method_name = "broadcast"; cycles = Costs.split }
+let fired_collect =
+  Some { Behaviour.method_name = "collect"; cycles = Costs.split }
+let fired_mergeToken =
+  Some { Behaviour.method_name = "mergeToken"; cycles = Costs.split }
+let fired_routeColumn =
+  Some { Behaviour.method_name = "routeColumn"; cycles = Costs.split }
+let fired_copy =
+  Some { Behaviour.method_name = "copy"; cycles = 1 }
+
 
 let out_names ways = List.init ways (fun k -> Printf.sprintf "out%d" k)
 let in_names ways = List.init ways (fun k -> Printf.sprintf "in%d" k)
@@ -34,7 +51,7 @@ let split ?class_name ?pattern ~window ~ways () =
             sent := 0;
             branch := (!branch + 1) mod ways
           end;
-          Some { Behaviour.method_name = "route"; cycles = Costs.split }
+          fired_route
         end
       | Some (Item.Ctl tok) ->
         if List.exists (fun o -> io.space o < 1) outs then None
@@ -45,7 +62,7 @@ let split ?class_name ?pattern ~window ~ways () =
             branch := 0;
             sent := 0
           end;
-          Some { Behaviour.method_name = "broadcast"; cycles = Costs.split }
+          fired_broadcast
         end
     in
     { Behaviour.try_step }
@@ -85,7 +102,7 @@ let join ?class_name ?pattern ~window ~ways () =
           let img = Behaviour.pop_data io current in
           io.push "out" (Item.data img);
           advance ();
-          Some { Behaviour.method_name = "collect"; cycles = Costs.split }
+          fired_collect
         end
       | Some (Item.Ctl tok) ->
         (* Merge: consume the token copy from every branch, emit once. *)
@@ -106,7 +123,7 @@ let join ?class_name ?pattern ~window ~ways () =
             branch := 0;
             taken := 0
           end;
-          Some { Behaviour.method_name = "mergeToken"; cycles = Costs.split }
+          fired_mergeToken
         end
     in
     { Behaviour.try_step }
@@ -154,9 +171,22 @@ let column_split ?class_name ~ranges ~frame () =
         if List.exists (fun o -> io.space o < 1) targets then None
         else begin
           let img = Behaviour.pop_data io "in" in
-          List.iter (fun o -> io.push o (Item.data img)) targets;
+          (* Overlap columns go to two stripes; each channel must own its
+             chunk, so stripes beyond the first get pool-backed copies. *)
+          List.iteri
+            (fun k o ->
+              let chunk =
+                if k = 0 then img
+                else begin
+                  let d = io.acquire (Image.size img) in
+                  Image.blit ~src:img ~dst:d ~x:0 ~y:0;
+                  d
+                end
+              in
+              io.push o (Item.data chunk))
+            targets;
           x := (!x + 1) mod w;
-          Some { Behaviour.method_name = "routeColumn"; cycles = Costs.split }
+          fired_routeColumn
         end
       | Some (Item.Ctl tok) ->
         if List.exists (fun o -> io.space o < 1) outs then None
@@ -164,7 +194,7 @@ let column_split ?class_name ~ranges ~frame () =
           ignore (io.pop "in");
           List.iter (fun o -> io.push o (Item.ctl tok)) outs;
           if tok.Token.kind = Token.End_of_frame then x := 0;
-          Some { Behaviour.method_name = "broadcast"; cycles = Costs.split }
+          fired_broadcast
         end
     in
     { Behaviour.try_step }
@@ -184,7 +214,7 @@ let replicate ?class_name ~window () =
         if io.space "out" < 1 then None
         else begin
           io.push "out" (io.pop "in");
-          Some { Behaviour.method_name = "copy"; cycles = 1 }
+          fired_copy
         end
     in
     { Behaviour.try_step }

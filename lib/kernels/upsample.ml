@@ -4,12 +4,6 @@ module Image = Bp_image.Image
 
 type mode = Hold | Zero_stuff
 
-let block_of ~mode ~fx ~fy v =
-  Image.init (Size.v fx fy) (fun ~x ~y ->
-      match mode with
-      | Hold -> v
-      | Zero_stuff -> if x = 0 && y = 0 then v else 0.)
-
 let reference ~mode ~fx ~fy img =
   let w = Image.width img and h = Image.height img in
   Image.init (Size.v (w * fx) (h * fy)) (fun ~x ~y ->
@@ -29,9 +23,15 @@ let spec ?(cycles = 3) ?(mode = Hold) ~fx ~fy () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m inputs =
+  let run _m ~alloc inputs =
     let v = Image.get (List.assoc "in" inputs) ~x:0 ~y:0 in
-    [ ("out", block_of ~mode ~fx ~fy v) ]
+    let out = alloc (Size.v fx fy) in
+    (match mode with
+    | Hold -> Image.fill out v
+    | Zero_stuff ->
+      (* Acquired chunks are all-zero; only the corner needs writing. *)
+      Image.set out ~x:0 ~y:0 v);
+    [ ("out", out) ]
   in
   Spec.v
     ~class_name:(Printf.sprintf "Upsample %dx%d" fx fy)

@@ -115,6 +115,66 @@ let histogram t name =
     Some { h_count = 0; h_sum = 0.; h_min = 0.; h_max = 0.; h_mean = 0. }
   | _ -> None
 
+(* ---- GC and pool sampling ------------------------------------------- *)
+
+type gc_snapshot = {
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+
+let gc_snapshot () =
+  let s = Gc.quick_stat () in
+  {
+    gc_minor_words = s.Gc.minor_words;
+    gc_major_words = s.Gc.major_words;
+    gc_promoted_words = s.Gc.promoted_words;
+    gc_minor_collections = s.Gc.minor_collections;
+    gc_major_collections = s.Gc.major_collections;
+  }
+
+let allocated_words ~before ~after =
+  (* Promoted words appear in both minor and major totals; subtract one
+     copy so the result is words allocated, wherever they first landed. *)
+  after.gc_minor_words -. before.gc_minor_words
+  +. (after.gc_major_words -. before.gc_major_words)
+  -. (after.gc_promoted_words -. before.gc_promoted_words)
+
+let record_gc t ?(prefix = "") ~before ~after () =
+  let n s = prefix ^ s in
+  set t (n "gc.minor_words") (after.gc_minor_words -. before.gc_minor_words);
+  set t (n "gc.major_words") (after.gc_major_words -. before.gc_major_words);
+  set t
+    (n "gc.promoted_words")
+    (after.gc_promoted_words -. before.gc_promoted_words);
+  set t (n "gc.allocated_words") (allocated_words ~before ~after);
+  incr t
+    ~by:(after.gc_minor_collections - before.gc_minor_collections)
+    (n "gc.minor_collections");
+  incr t
+    ~by:(after.gc_major_collections - before.gc_major_collections)
+    (n "gc.major_collections")
+
+let record_gc_around t ?prefix f =
+  let before = gc_snapshot () in
+  let result = f () in
+  let after = gc_snapshot () in
+  record_gc t ?prefix ~before ~after ();
+  result
+
+let record_pool t ?(prefix = "") ~hits ~misses ~releases ~live () =
+  let n s = prefix ^ s in
+  incr t ~by:hits (n "pool.hits");
+  incr t ~by:misses (n "pool.misses");
+  incr t ~by:releases (n "pool.releases");
+  set t (n "pool.live") (float_of_int live);
+  let total = hits + misses in
+  set t
+    (n "pool.hit_rate")
+    (if total = 0 then 0. else float_of_int hits /. float_of_int total)
+
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
 

@@ -60,6 +60,56 @@ val bucket_bounds : float array
     final implicit overflow bucket catches everything above the last
     bound. *)
 
+(** {1 GC and pool sampling}
+
+    The allocation half of the performance contract (docs/PERFORMANCE.md
+    §"The data plane"): sample the OCaml GC around a simulation run and
+    fold the deltas — plus the run's chunk-pool counters — into the
+    registry, so allocation pressure is exported next to throughput. *)
+
+type gc_snapshot = {
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+}
+(** A point-in-time reading of [Gc.quick_stat] (cheap; no heap walk). *)
+
+val gc_snapshot : unit -> gc_snapshot
+
+val allocated_words : before:gc_snapshot -> after:gc_snapshot -> float
+(** Total words allocated between the two snapshots
+    ([minor + major - promoted], so promoted words are not double
+    counted). *)
+
+val record_gc :
+  t -> ?prefix:string -> before:gc_snapshot -> after:gc_snapshot -> unit ->
+  unit
+(** Record the deltas between two snapshots: gauges
+    [gc.minor_words], [gc.major_words], [gc.promoted_words],
+    [gc.allocated_words]; counters [gc.minor_collections],
+    [gc.major_collections]. [prefix] is prepended verbatim to every
+    name. *)
+
+val record_gc_around : t -> ?prefix:string -> (unit -> 'a) -> 'a
+(** [record_gc_around t f] runs [f] between two {!gc_snapshot}s and
+    {!record_gc}s the deltas. *)
+
+val record_pool :
+  t ->
+  ?prefix:string ->
+  hits:int ->
+  misses:int ->
+  releases:int ->
+  live:int ->
+  unit ->
+  unit
+(** Record chunk-pool counters (see {!Bp_image.Pool.stats}, passed as
+    plain ints to keep this module dependency-light): counters
+    [pool.hits], [pool.misses], [pool.releases]; gauges [pool.live] and
+    [pool.hit_rate]. *)
+
 val names : t -> string list
 (** All registered names, sorted — the iteration order of {!to_json} and
     {!pp}, so output is deterministic. *)

@@ -1,36 +1,49 @@
-(* Slots distinguish live entries from vacated ones so [pop] can clear the
-   cell it vacates: leaving the old entry behind would pin its value (an
-   event record, and transitively simulated items) until a later push
-   happens to overwrite that index. [Empty] is a constant constructor, so
-   clearing allocates nothing, and the inline record keeps a live entry to
-   a single heap block, as before. *)
-type 'a slot = Empty | Entry of { time : float; seq : int; value : 'a }
+(* Binary min-heap over (time, seq) with FIFO tie-breaking.
+
+   The representation is three parallel arrays rather than an array of
+   entry records: [times] is a float array, so times live unboxed, and a
+   push/pop pair allocates nothing once the arrays have grown to the
+   working size. The simulator pops one event per simulated step, so a
+   per-entry record (and the option/tuple a record-based [pop] returns)
+   would be a steady per-event allocation — see docs/PERFORMANCE.md.
+
+   Popped value slots are overwritten with [dummy] so the heap never
+   pins a dead event (and transitively its simulated items). *)
 
 type 'a t = {
-  mutable data : 'a slot array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  dummy : 'a;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create ~dummy () =
+  { times = [||]; seqs = [||]; values = [||]; dummy; size = 0; next_seq = 0 }
+
 let is_empty t = t.size = 0
 let size t = t.size
 
-let less a b =
-  match (a, b) with
-  | Entry a, Entry b ->
-    a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
-  | (Empty, _ | _, Empty) -> assert false (* never compared beyond [size] *)
+let less t i j =
+  t.times.(i) < t.times.(j)
+  || (Float.equal t.times.(i) t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
 let swap t i j =
-  let tmp = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- tmp
+  let tt = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tt;
+  let ts = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- ts;
+  let tv = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- tv
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
+    if less t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -39,41 +52,55 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if l < t.size && less t l !smallest then smallest := l;
+  if r < t.size && less t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t ~time value =
-  let entry = Entry { time; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.data then begin
-    let cap = max 16 (2 * Array.length t.data) in
-    let data = Array.make cap Empty in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
+  if t.size = Array.length t.values then begin
+    let cap = max 16 (2 * Array.length t.values) in
+    let times = Array.make cap 0. in
+    let seqs = Array.make cap 0 in
+    let values = Array.make cap t.dummy in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.values 0 values 0 t.size;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.values <- values
   end;
-  t.data.(t.size) <- entry;
+  t.times.(t.size) <- time;
+  t.seqs.(t.size) <- t.next_seq;
+  t.values.(t.size) <- value;
+  t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+
+let front_time_exn t =
+  if t.size = 0 then invalid_arg "Heap.front_time_exn: empty";
+  t.times.(0)
+
+let pop_value_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_value_exn: empty";
+  let v = t.values.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.times.(0) <- t.times.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.values.(0) <- t.values.(t.size);
+    t.values.(t.size) <- t.dummy;
+    sift_down t 0
+  end
+  else t.values.(0) <- t.dummy;
+  v
 
 let pop t =
   if t.size = 0 then None
   else
-    match t.data.(0) with
-    | Empty -> assert false
-    | Entry { time; value; _ } ->
-      t.size <- t.size - 1;
-      if t.size > 0 then begin
-        t.data.(0) <- t.data.(t.size);
-        t.data.(t.size) <- Empty;
-        sift_down t 0
-      end
-      else t.data.(0) <- Empty;
-      Some (time, value)
+    let time = t.times.(0) in
+    Some (time, pop_value_exn t)
 
-let peek_time t =
-  if t.size = 0 then None
-  else match t.data.(0) with Empty -> assert false | Entry e -> Some e.time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)

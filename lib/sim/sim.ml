@@ -7,6 +7,8 @@ module Machine = Bp_machine.Machine
 module Token = Bp_token.Token
 module Size = Bp_geometry.Size
 module Rate = Bp_geometry.Rate
+module Image = Bp_image.Image
+module Pool = Bp_image.Pool
 
 type proc_stats = {
   run_s : float;
@@ -32,6 +34,7 @@ type result = {
   leftover_items : int;
   events_processed : int;
   timed_out : bool;
+  pool : Pool.stats option;  (* chunk-pool counters; None when pooling off *)
 }
 
 type placement_model = {
@@ -60,7 +63,14 @@ let kernel_state_name = function
    adjacent-channel change since their last declined attempt would
    deterministically decline again; skipping it is exact, not an
    approximation. The equivalence is held down by the suite-wide
-   differential test against {!Sim_reference}. *)
+   differential test against {!Sim_reference}.
+
+   Allocation discipline: hot mutable floats live in [float array]
+   side-state ([rt_f], [t_f], the per-proc arrays inside [run]) rather
+   than in mutable record fields, because without flambda a store to a
+   mutable float field of a mixed record boxes the float — at one or more
+   stores per event that was a measurable slice of the very minor-GC
+   pressure this engine exists to avoid (docs/PERFORMANCE.md). *)
 
 type chan_rt = {
   id : int;
@@ -92,9 +102,8 @@ and node_rt = {
   mutable cw_full_out : int;  (* full output channel the attempt saw, or -1 *)
   mutable s_marked : bool;  (* sinks only: queued for draining *)
   mutable rt_fires : int;
-  mutable rt_busy : float;
+  rt_f : float array;  (* 0 = total busy seconds; 1 = current busy end *)
   mutable ks_state : kernel_state;  (* as of the last dispatch examination *)
-  mutable ks_busy_end : float;  (* end of the current busy interval *)
   mutable fb_pending : bool;  (* sources only: next Data push starts a frame *)
 }
 
@@ -102,6 +111,7 @@ and emitter_rt = {
   em : node_rt;
   em_burst : int;  (* Spec.emission_burst: space one firing may need *)
   em_kind : em_kind;
+  mutable em_event : event;  (* interned; re-pushed on every (re)schedule *)
   mutable em_blocked : bool;  (* waiting for space; woken by Ch_pop *)
   mutable em_woken : bool;
 }
@@ -110,26 +120,21 @@ and em_kind = Em_const | Em_timed of timed_rt
 
 and timed_rt = {
   period : float;
-  mutable next_due : float;
+  t_f : float array;  (* 0 = next due time; 1 = max lateness *)
   mutable stalls : int;
   mutable late : int;
-  mutable max_late : float;
 }
 
+and event = Source_slot of emitter_rt | Const_emit of emitter_rt
+          | Proc_free of int
+
 type proc_rt = {
-  mutable busy_until : float;
   mutable cursor : int;  (* round-robin position among its kernels *)
   mutable last_fired : int;  (* kernel index of the previous firing *)
   kernels : node_rt array;
   mutable ready : bool;  (* marked for the next dispatch sweep *)
-  mutable p_run : float;
-  mutable p_read : float;
-  mutable p_write : float;
   mutable p_fires : int;
 }
-
-type event = Source_slot of emitter_rt | Const_emit of emitter_rt
-           | Proc_free of int
 
 (* Channel rings hold plain [Item.t]; popped slots are overwritten with
    this throwaway control item so the ring never pins live pixel data. *)
@@ -148,16 +153,14 @@ let find_port what (rt : node_rt) (a : (string * 'a) array) port =
 
 (* ---- main engine ------------------------------------------------------ *)
 
-let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
-    ?(observer = fun ~time_s:_ ~proc:_ ~node:_ ~method_name:_ ~service_s:_ -> ())
-    ?(channel_observer =
-      fun ~time_s:_ ~chan_id:_ ~node:_ ~proc:_ ~event:_ ~depth:_ -> ())
-    ?(state_observer =
-      fun ~time_s:_ ~node:_ ~proc:_ ~state:_ ~chan:_ -> ())
-    ~graph:g ~mapping ~machine () =
+let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
+    ?placement ?observer ?channel_observer ?state_observer ~graph:g ~mapping
+    ~machine () =
   Graph.validate g;
   let pe = machine.Machine.pe in
-  let now = ref 0. in
+  (* Current simulated time, in a one-slot float array so stores stay
+     unboxed (a [float ref] boxes on every [:=] without flambda). *)
+  let now = [| 0. |] in
   (* Channels: preallocated rings, indexed by a plain array over a dense
      remap of channel ids (graph ids are small ints but need not be
      contiguous after transforms). *)
@@ -194,10 +197,21 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
   let frame_births : (Graph.node_id, float list ref) Hashtbl.t =
     Hashtbl.create 4
   in
+  (* One pool for the whole run. Every chunk a behaviour acquires or pops
+     and does not push onward comes back here, so steady state recycles a
+     fixed working set instead of allocating. [~pool:false] falls back to
+     the allocation-naive plane (releases are dropped, acquires allocate)
+     for A/B measurement — results are bit-identical either way. *)
+  let chunk_pool = if pool then Some (Pool.create ()) else None in
+  let acquire_chunk, release_chunk =
+    match chunk_pool with
+    | Some p -> ((fun s -> Pool.acquire p s), fun img -> Pool.release p img)
+    | None -> (Image.create, fun _ -> ())
+  in
   let dummy_io =
     let fail _ = assert false in
     { Behaviour.peek = fail; pop = fail; push = (fun _ _ -> assert false);
-      space = fail }
+      space = fail; acquire = fail; release = (fun _ -> assert false) }
   in
   let node_rts = Hashtbl.create 64 in
   List.iter
@@ -235,9 +249,8 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           cw_full_out = -1;
           s_marked = false;
           rt_fires = 0;
-          rt_busy = 0.;
+          rt_f = [| 0.; 0. |];
           ks_state = Ks_idle;
-          ks_busy_end = 0.;
           fb_pending = true;
         }
       in
@@ -264,23 +277,27 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         let x1, y1 = tile c.Graph.dst.Graph.node in
         (chan_rt c.Graph.chan_id).hops <- abs (x0 - x1) + abs (y0 - y1))
       graph_chans);
-  (* Processors. *)
+  (* Processors: a record for the int/array state, parallel float arrays
+     for the accumulated times (field stores would box). *)
+  let nprocs = Mapping.processors mapping in
   let procs =
-    Array.init (Mapping.processors mapping) (fun p ->
+    Array.init nprocs (fun p ->
         {
-          busy_until = 0.;
           cursor = 0;
           last_fired = -1;
           kernels =
             Array.of_list (List.map node_rt (Mapping.nodes_on mapping p));
           ready = true;  (* every processor gets one initial scan *)
-          p_run = 0.;
-          p_read = 0.;
-          p_write = 0.;
           p_fires = 0;
         })
   in
-  let nprocs = Array.length procs in
+  let p_busy_until = Array.make nprocs 0. in
+  let p_run = Array.make nprocs 0. in
+  let p_read = Array.make nprocs 0. in
+  let p_write = Array.make nprocs 0. in
+  (* Interned events: each party's wake event is allocated once and
+     re-pushed, not rebuilt per scheduling. *)
+  let proc_free = Array.init nprocs (fun p -> Proc_free p) in
   (* Emitters: sources and constant sources drive themselves off the
      event queue rather than a processor. *)
   let emitter_tbl : (Graph.node_id, emitter_rt) Hashtbl.t = Hashtbl.create 8 in
@@ -291,10 +308,13 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
         em = node_rt n.Graph.id;
         em_burst = n.Graph.spec.Spec.emission_burst;
         em_kind = kind;
+        em_event = Proc_free (-1);
         em_blocked = false;
         em_woken = false;
       }
     in
+    e.em_event <-
+      (match kind with Em_const -> Const_emit e | Em_timed _ -> Source_slot e);
     Hashtbl.replace emitter_tbl n.Graph.id e;
     emitters := e :: !emitters;
     e
@@ -308,12 +328,12 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
            rt)
          (Graph.sinks g))
   in
-  let events : event Heap.t = Heap.create () in
+  let events : event Heap.t = Heap.create ~dummy:(Proc_free (-1)) () in
   (* Constant sources emit before the first source slot so configuration
      data (coefficients, bin bounds) is in place when pixel 0 arrives. *)
   List.iter
     (fun (n : Graph.node) ->
-      Heap.push events ~time:0. (Const_emit (add_emitter n Em_const)))
+      Heap.push events ~time:0. (add_emitter n Em_const).em_event)
     (Graph.const_sources g);
   let timed_srcs =
     List.map
@@ -324,10 +344,8 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           | _ -> Err.graphf "source %s lacks Source_meta" n.Graph.name
         in
         let period = Rate.element_period_s rate ~frame in
-        let t =
-          { period; next_due = 0.; stalls = 0; late = 0; max_late = 0. }
-        in
-        Heap.push events ~time:0. (Source_slot (add_emitter n (Em_timed t)));
+        let t = { period; t_f = [| 0.; 0. |]; stalls = 0; late = 0 } in
+        Heap.push events ~time:0. (add_emitter n (Em_timed t)).em_event;
         t)
       (Graph.sources g)
   in
@@ -360,6 +378,19 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     | P_sink s -> s.s_marked <- true
     | P_emit _ | P_none -> ()
   in
+  (* Observability is pay-when-used: with no observer installed, the
+     firing path must not even box the float arguments a callback would
+     take, so every notification is behind an [Option] match (and the
+     state machinery behind [state_observing]). *)
+  let chan_observing = Option.is_some channel_observer in
+  let state_observing = Option.is_some state_observer in
+  let on_chan (rt : node_rt) (c : chan_rt) ev =
+    match channel_observer with
+    | None -> ()
+    | Some f ->
+      f ~time_s:now.(0) ~chan_id:c.id ~node:rt.node ~proc:rt.proc ~event:ev
+        ~depth:(Ring.length c.ring)
+  in
   (* Per-node IO, built exactly once; the word counters live on the node
      and are reset before each attempt. *)
   let hop_cycles_per_word =
@@ -369,10 +400,6 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
   in
   let build_io (rt : node_rt) =
     let is_sink = rt.node.Graph.spec.Spec.role = Spec.Sink in
-    let on_chan (c : chan_rt) ev =
-      channel_observer ~time_s:!now ~chan_id:c.id ~node:rt.node ~proc:rt.proc
-        ~event:ev ~depth:(Ring.length c.ring)
-    in
     {
       Behaviour.peek =
         (fun port ->
@@ -389,13 +416,13 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
             match item with
             | Item.Ctl tok when tok.Token.kind = Token.End_of_frame ->
               let times = Hashtbl.find sink_eof_times rt.node.Graph.id in
-              times := !now :: !times
+              times := now.(0) :: !times
             | Item.Data _ ->
               if not (Hashtbl.mem sink_first_data rt.node.Graph.id) then
-                Hashtbl.replace sink_first_data rt.node.Graph.id !now
+                Hashtbl.replace sink_first_data rt.node.Graph.id now.(0)
             | _ -> ()
           end;
-          on_chan c Ch_pop;
+          if chan_observing then on_chan rt c Ch_pop;
           mark_producer c;
           item);
       push =
@@ -407,44 +434,70 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
             | Item.Data _ ->
               if rt.fb_pending then begin
                 let births = Hashtbl.find frame_births rt.node.Graph.id in
-                births := !now :: !births;
+                births := now.(0) :: !births;
                 rt.fb_pending <- false
               end
             | Item.Ctl tok ->
               if tok.Token.kind = Token.End_of_frame then rt.fb_pending <- true
           end;
           let cs = find_port "output" rt rt.out_chans port in
-          Array.iter
-            (fun c ->
-              if Ring.is_full c.ring then
-                Err.graphf "%s: push to full channel on %S"
-                  rt.node.Graph.name port;
-              Ring.push c.ring item;
-              let depth = Ring.length c.ring in
-              if depth > c.max_depth then c.max_depth <- depth;
-              rt.cw_write <- rt.cw_write + Item.words item;
-              rt.cw_hop <- rt.cw_hop + (c.hops * Item.words item);
-              on_chan c Ch_push;
-              mark_consumer c)
-            cs);
+          for i = 0 to Array.length cs - 1 do
+            let c = cs.(i) in
+            if Ring.is_full c.ring then
+              Err.graphf "%s: push to full channel on %S" rt.node.Graph.name
+                port;
+            (* Fan-out under pooling: each channel's consumer will own
+               (and eventually release) its chunk, so channels beyond the
+               first receive pool-backed copies — sharing one physical
+               buffer would let it re-enter the pool twice. Without the
+               pool, sharing is safe (nothing recycles) and matches the
+               reference engine. *)
+            let item =
+              if i = 0 || not pool then item
+              else
+                match item with
+                | Item.Data img ->
+                  let d = acquire_chunk (Image.size img) in
+                  Image.blit ~src:img ~dst:d ~x:0 ~y:0;
+                  Item.data d
+                | Item.Ctl _ -> item
+            in
+            Ring.push c.ring item;
+            let depth = Ring.length c.ring in
+            if depth > c.max_depth then c.max_depth <- depth;
+            rt.cw_write <- rt.cw_write + Item.words item;
+            rt.cw_hop <- rt.cw_hop + (c.hops * Item.words item);
+            if chan_observing then on_chan rt c Ch_push;
+            mark_consumer c
+          done);
+      acquire = acquire_chunk;
+      release = release_chunk;
       space =
         (fun port ->
           let cs = find_port "output" rt rt.out_chans port in
-          if Array.length cs = 0 then max_int
-          else
-            Array.fold_left
-              (fun acc c ->
-                let free = Ring.space c.ring in
-                if free <= 0 then begin
-                  rt.cw_full_out <- c.id;
-                  on_chan c Ch_block
-                end;
-                min acc free)
-              max_int cs);
+          let n = Array.length cs in
+          if n = 0 then max_int
+          else begin
+            (* Local, non-escaping ref: compiled to a register. *)
+            let acc = ref max_int in
+            for i = 0 to n - 1 do
+              let c = cs.(i) in
+              let free = Ring.space c.ring in
+              if free <= 0 then begin
+                rt.cw_full_out <- c.id;
+                if chan_observing then on_chan rt c Ch_block
+              end;
+              if free < !acc then acc := free
+            done;
+            !acc
+          end);
     }
   in
   Hashtbl.iter (fun _ rt -> rt.io <- build_io rt) node_rts;
-  (* One step of a node, with word accounting; returns service time split. *)
+  (* One step of a node. Service-time pricing happens at the dispatch
+     site — the only caller that needs it — from the [cw_*] word
+     counters; a sink or emitter firing prices nothing, and a step
+     returns the behaviour's interned [fired] with no wrapper. *)
   let step_node (rt : node_rt) =
     rt.cw_read <- 0;
     rt.cw_write <- 0;
@@ -452,71 +505,78 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     rt.cw_full_out <- -1;
     match rt.behaviour.Behaviour.try_step rt.io with
     | None -> None
-    | Some fired ->
-      let read_s = Machine.read_time_s pe ~words:rt.cw_read in
-      let write_s =
-        Machine.write_time_s pe ~words:rt.cw_write
-        +. (float_of_int rt.cw_hop *. hop_cycles_per_word
-           /. pe.Machine.freq_hz)
-      in
-      let run_s = float_of_int fired.Behaviour.cycles *. Machine.cycle_time_s pe in
+    | Some _ as fired ->
       rt.rt_fires <- rt.rt_fires + 1;
-      Some (fired, read_s, run_s, write_s)
+      fired
   in
+  (* Shared progress flag for the dispatch fixpoint, hoisted so the loop
+     helpers below close over one ref for the whole run instead of
+     threading a fresh one per event. *)
+  let progress = ref false in
   (* Marked sinks drain instantly (off-chip), to personal exhaustion;
      sinks never push, so they cannot re-enable each other and one pass
      reaches the same fixpoint as the reference engine's rescan. *)
-  let drain_ready_sinks progress =
-    Array.iter
-      (fun srt ->
-        if srt.s_marked then begin
-          srt.s_marked <- false;
-          let draining = ref true in
-          while !draining do
-            match step_node srt with
-            | Some _ -> progress := true
-            | None -> draining := false
-          done
-        end)
-      sinks
+  let rec drain_sink srt =
+    match step_node srt with
+    | Some _ ->
+      progress := true;
+      drain_sink srt
+    | None -> ()
+  in
+  let drain_ready_sinks () =
+    for i = 0 to Array.length sinks - 1 do
+      let srt = sinks.(i) in
+      if srt.s_marked then begin
+        srt.s_marked <- false;
+        drain_sink srt
+      end
+    done
   in
   (* A successful timed emission: lateness bookkeeping and the next slot. *)
   let fire_timed (t : timed_rt) e =
-    let lateness = !now -. t.next_due in
+    let lateness = now.(0) -. t.t_f.(0) in
     if lateness > 1e-12 then begin
       t.late <- t.late + 1;
-      if lateness > t.max_late then t.max_late <- lateness
+      if lateness > t.t_f.(1) then t.t_f.(1) <- lateness
     end;
-    t.next_due <- t.next_due +. t.period;
-    Heap.push events ~time:(Float.max t.next_due !now) (Source_slot e)
+    t.t_f.(0) <- t.t_f.(0) +. t.period;
+    let due = t.t_f.(0) in
+    Heap.push events
+      ~time:(if due >= now.(0) then due else now.(0))
+      e.em_event
   in
   (* An emitter that declined is blocked exactly when some output channel
      lacks space for its declared worst-case burst; otherwise it is
      exhausted and never retried. *)
   let emitter_blocked e =
-    Array.exists
-      (fun (_, cs) ->
-        Array.exists (fun c -> Ring.space c.ring < e.em_burst) cs)
-      e.em.out_chans
+    let ocs = e.em.out_chans in
+    let blocked = ref false in
+    for i = 0 to Array.length ocs - 1 do
+      let _, cs = ocs.(i) in
+      for j = 0 to Array.length cs - 1 do
+        if Ring.space cs.(j).ring < e.em_burst then blocked := true
+      done
+    done;
+    !blocked
   in
   (* A pop freed space on a blocked emitter's channel: retry right now
      (precise wake, replacing the reference engine's fixed retry polls). *)
-  let retry_woken_emitters progress =
-    List.iter
-      (fun e ->
-        if e.em_woken then begin
-          e.em_woken <- false;
-          if e.em_blocked then
-            match step_node e.em with
-            | Some _ ->
-              e.em_blocked <- false;
-              progress := true;
-              (match e.em_kind with
-              | Em_timed t -> fire_timed t e
-              | Em_const -> ())
-            | None -> if not (emitter_blocked e) then e.em_blocked <- false
-        end)
-      !emitters
+  let rec retry_emitters = function
+    | [] -> ()
+    | e :: rest ->
+      if e.em_woken then begin
+        e.em_woken <- false;
+        if e.em_blocked then
+          match step_node e.em with
+          | Some _ ->
+            e.em_blocked <- false;
+            progress := true;
+            (match e.em_kind with
+            | Em_timed t -> fire_timed t e
+            | Em_const -> ())
+          | None -> if not (emitter_blocked e) then e.em_blocked <- false
+      end;
+      retry_emitters rest
   in
   (* ---- kernel state intervals ----------------------------------------
      Each on-chip kernel carries a state (busy / blocked-on-input /
@@ -528,17 +588,22 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
      failure-pure), so holding the last classification is exact, not
      sampled. [state_observer] is invoked once per entered state with the
      entry time; by construction the emitted intervals partition
-     [0, duration] for every kernel (asserted in test/test_obs.ml). *)
+     [0, duration] for every kernel (asserted in test/test_obs.ml). The
+     whole mechanism is skipped when no [state_observer] is installed. *)
+  let emit_state (rt : node_rt) proc st chan time_s =
+    match state_observer with
+    | None -> ()
+    | Some f -> f ~time_s ~node:rt.node ~proc ~state:st ~chan
+  in
   let set_state (rt : node_rt) proc st chan =
     (* A busy interval whose end passed unexamined closes into idle at the
        exact service end, not at the moment we finally looked. *)
-    if rt.ks_state = Ks_busy && !now > rt.ks_busy_end +. 1e-15 then begin
-      state_observer ~time_s:rt.ks_busy_end ~node:rt.node ~proc
-        ~state:Ks_idle ~chan:None;
+    if rt.ks_state = Ks_busy && now.(0) > rt.rt_f.(1) +. 1e-15 then begin
+      emit_state rt proc Ks_idle None rt.rt_f.(1);
       rt.ks_state <- Ks_idle
     end;
     if st <> rt.ks_state then begin
-      state_observer ~time_s:!now ~node:rt.node ~proc ~state:st ~chan;
+      emit_state rt proc st chan now.(0);
       rt.ks_state <- st
     end
   in
@@ -552,48 +617,71 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     in
     go 0
   in
-  (* Try to start one firing on an idle processor. *)
-  let try_dispatch p =
-    let proc = procs.(p) in
-    if proc.busy_until > !now +. 1e-15 then false
+  (* Try to start one firing on an idle processor. The service prices
+     below reproduce [Machine.read_time_s], [write_time_s] and
+     [cycle_time_s] operation for operation: the arithmetic must stay
+     bit-identical to the reference engine, which still calls through
+     [Machine] (inlining it here avoids the boxed float each of those
+     cross-module calls returns without flambda). *)
+  let rec attempt_kernel proc p k i =
+    if i >= k then false
     else begin
-      let k = Array.length proc.kernels in
-      let rec attempt i =
-        if i >= k then false
-        else begin
-          let idx = (proc.cursor + i) mod k in
-          let rt = proc.kernels.(idx) in
-          match step_node rt with
-          | None ->
-            (if rt.cw_full_out >= 0 then
-               set_state rt p Ks_blocked_output (Some rt.cw_full_out)
-             else set_state rt p Ks_blocked_input (first_empty_input rt));
-            attempt (i + 1)
-          | Some (fired, read_s, run_s, write_s) ->
-            (* Context-switch charge when a multiplexed PE changes kernel. *)
-            let run_s =
-              if proc.last_fired >= 0 && proc.last_fired <> idx then
-                run_s +. (pe.Machine.switch_cycles *. Machine.cycle_time_s pe)
-              else run_s
-            in
-            proc.last_fired <- idx;
-            let service = read_s +. run_s +. write_s in
-            set_state rt p Ks_busy None;
-            rt.ks_busy_end <- !now +. service;
-            observer ~time_s:!now ~proc:p ~node:rt.node
-              ~method_name:fired.Behaviour.method_name ~service_s:service;
-            proc.busy_until <- !now +. service;
-            proc.cursor <- (idx + 1) mod k;
-            proc.p_run <- proc.p_run +. run_s;
-            proc.p_read <- proc.p_read +. read_s;
-            proc.p_write <- proc.p_write +. write_s;
-            proc.p_fires <- proc.p_fires + 1;
-            rt.rt_busy <- rt.rt_busy +. service;
-            Heap.push events ~time:proc.busy_until (Proc_free p);
-            true
-        end
-      in
-      attempt 0
+      let idx = (proc.cursor + i) mod k in
+      let rt = proc.kernels.(idx) in
+      match step_node rt with
+      | None ->
+        if state_observing then
+          if rt.cw_full_out >= 0 then
+            set_state rt p Ks_blocked_output (Some rt.cw_full_out)
+          else set_state rt p Ks_blocked_input (first_empty_input rt);
+        attempt_kernel proc p k (i + 1)
+      | Some fired ->
+        let read_s =
+          float_of_int rt.cw_read *. pe.Machine.read_cycles_per_word
+          /. pe.Machine.freq_hz
+        in
+        let write_s =
+          float_of_int rt.cw_write *. pe.Machine.write_cycles_per_word
+          /. pe.Machine.freq_hz
+          +. (float_of_int rt.cw_hop *. hop_cycles_per_word
+             /. pe.Machine.freq_hz)
+        in
+        let run_s =
+          float_of_int fired.Behaviour.cycles *. (1. /. pe.Machine.freq_hz)
+        in
+        (* Context-switch charge when a multiplexed PE changes kernel. *)
+        let run_s =
+          if proc.last_fired >= 0 && proc.last_fired <> idx then
+            run_s +. (pe.Machine.switch_cycles *. (1. /. pe.Machine.freq_hz))
+          else run_s
+        in
+        proc.last_fired <- idx;
+        let service = read_s +. run_s +. write_s in
+        if state_observing then begin
+          set_state rt p Ks_busy None;
+          rt.rt_f.(1) <- now.(0) +. service
+        end;
+        (match observer with
+        | None -> ()
+        | Some f ->
+          f ~time_s:now.(0) ~proc:p ~node:rt.node
+            ~method_name:fired.Behaviour.method_name ~service_s:service);
+        p_busy_until.(p) <- now.(0) +. service;
+        proc.cursor <- (idx + 1) mod k;
+        p_run.(p) <- p_run.(p) +. run_s;
+        p_read.(p) <- p_read.(p) +. read_s;
+        p_write.(p) <- p_write.(p) +. write_s;
+        proc.p_fires <- proc.p_fires + 1;
+        rt.rt_f.(0) <- rt.rt_f.(0) +. service;
+        Heap.push events ~time:p_busy_until.(p) proc_free.(p);
+        true
+    end
+  in
+  let try_dispatch p =
+    if p_busy_until.(p) > now.(0) +. 1e-15 then false
+    else begin
+      let proc = procs.(p) in
+      attempt_kernel proc p (Array.length proc.kernels) 0
     end
   in
   (* The dispatch loop: only marked parties are attempted. Processors are
@@ -602,11 +690,11 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
      full rescan sees them; anything marked at an earlier index waits for
      the next round, as it would wait for the rescan's next round. *)
   let dispatch () =
-    let progress = ref true in
+    progress := true;
     while !progress do
       progress := false;
-      drain_ready_sinks progress;
-      retry_woken_emitters progress;
+      drain_ready_sinks ();
+      retry_emitters !emitters;
       for p = 0 to nprocs - 1 do
         let proc = procs.(p) in
         if proc.ready then begin
@@ -622,33 +710,34 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
      (their own [Proc_free] may still sit behind this event in the queue
      when service times collide exactly). *)
   let advance time =
-    if time > !now then begin
-      Array.iter
-        (fun proc ->
-          if
-            proc.busy_until > !now +. 1e-15
-            && proc.busy_until <= time +. 1e-15
-          then proc.ready <- true)
-        procs;
-      now := time
+    if time > now.(0) then begin
+      for p = 0 to nprocs - 1 do
+        if
+          p_busy_until.(p) > now.(0) +. 1e-15
+          && p_busy_until.(p) <= time +. 1e-15
+        then procs.(p).ready <- true
+      done;
+      now.(0) <- time
     end
   in
-  (* Main loop. *)
+  (* Main loop. The front time is read before the pop so a discarded
+     over-limit event never disturbs the queue, and neither step
+     allocates (see {!Heap}). *)
   let processed = ref 0 in
   let timed_out = ref false in
   let continue = ref true in
   while !continue do
-    match Heap.pop events with
-    | None -> continue := false
-    | Some (time, ev) ->
+    if Heap.is_empty events then continue := false
+    else begin
+      let time = Heap.front_time_exn events in
       incr processed;
       if time > max_time_s || !processed > max_events then begin
         timed_out := true;
         continue := false
       end
       else begin
+        let ev = Heap.pop_value_exn events in
         advance time;
-        now := Float.max !now time;
         (match ev with
         | Proc_free p -> procs.(p).ready <- true
         | Const_emit e -> (
@@ -678,20 +767,21 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
             end));
         dispatch ()
       end
+    end
   done;
   (* Close out busy intervals whose service end passed without another
      examination, so every kernel's intervals reach a settled state. *)
-  Hashtbl.iter
-    (fun _ rt ->
-      match rt.proc with
-      | Some p ->
-        if rt.ks_state = Ks_busy && !now > rt.ks_busy_end +. 1e-15 then begin
-          state_observer ~time_s:rt.ks_busy_end ~node:rt.node ~proc:p
-            ~state:Ks_idle ~chan:None;
-          rt.ks_state <- Ks_idle
-        end
-      | None -> ())
-    node_rts;
+  if state_observing then
+    Hashtbl.iter
+      (fun _ rt ->
+        match rt.proc with
+        | Some p ->
+          if rt.ks_state = Ks_busy && now.(0) > rt.rt_f.(1) +. 1e-15 then begin
+            emit_state rt p Ks_idle None rt.rt_f.(1);
+            rt.ks_state <- Ks_idle
+          end
+        | None -> ())
+      node_rts;
   let leftover_items =
     List.fold_left (fun acc c -> acc + Ring.length c.ring) 0 all_chans
   in
@@ -703,18 +793,23 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
       all_chans
   in
   let proc_stats =
-    Array.map
-      (fun p ->
-        { run_s = p.p_run; read_s = p.p_read; write_s = p.p_write; fires = p.p_fires })
+    Array.mapi
+      (fun i p ->
+        {
+          run_s = p_run.(i);
+          read_s = p_read.(i);
+          write_s = p_write.(i);
+          fires = p.p_fires;
+        })
       procs
   in
   {
-    duration_s = !now;
+    duration_s = now.(0);
     procs = proc_stats;
     input_stalls = List.fold_left (fun a t -> a + t.stalls) 0 timed_srcs;
     late_emissions = List.fold_left (fun a t -> a + t.late) 0 timed_srcs;
     max_input_lateness_s =
-      List.fold_left (fun a t -> Float.max a t.max_late) 0. timed_srcs;
+      List.fold_left (fun a t -> Float.max a t.t_f.(1)) 0. timed_srcs;
     sink_eofs =
       Hashtbl.fold
         (fun id times acc -> (id, List.rev !times) :: acc)
@@ -730,11 +825,12 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     node_stats =
       Hashtbl.fold
         (fun id rt acc ->
-          (id, { node_fires = rt.rt_fires; node_busy_s = rt.rt_busy }) :: acc)
+          (id, { node_fires = rt.rt_fires; node_busy_s = rt.rt_f.(0) }) :: acc)
         node_rts [];
     leftover_items;
     events_processed = !processed;
     timed_out = !timed_out;
+    pool = Option.map Pool.stats chunk_pool;
   }
 
 let first_output_latency_s r =

@@ -86,6 +86,11 @@ type result = {
       (** Heap events consumed by the run — the denominator of the
           events-per-second throughput the benchmark tracks. *)
   timed_out : bool;
+  pool : Bp_image.Pool.stats option;
+      (** Chunk-pool counters for the run's data plane ([None] when the
+          run was started with [~pool:false] or came from the
+          allocation-naive reference engine). The hit rate is the fraction
+          of chunk acquisitions served by recycling. *)
 }
 
 type placement_model = {
@@ -135,6 +140,7 @@ val kernel_state_name : kernel_state -> string
 val run :
   ?max_time_s:float ->
   ?max_events:int ->
+  ?pool:bool ->
   ?placement:placement_model ->
   ?observer:
     (time_s:float ->
@@ -165,7 +171,12 @@ val run :
   result
 (** Simulate until quiescent. [max_time_s] (default 300 simulated seconds)
     and [max_events] (default 50 million) bound runaway graphs; hitting
-    either sets [timed_out]. [observer] is invoked for every on-chip kernel
+    either sets [timed_out]. [pool] (default [true]) runs the data plane
+    through a per-run chunk pool ({!Bp_image.Pool}): behaviours acquire
+    output chunks and release consumed inputs, so steady state recycles a
+    fixed working set instead of allocating per firing. [~pool:false] is
+    the allocation-naive escape hatch (`bpc simulate --no-pool`); results
+    are bit-identical either way, only GC behavior differs. [observer] is invoked for every on-chip kernel
     firing with its start time, processor, and service time — the hook the
     {!Trace} module records through. [channel_observer] is invoked on every
     channel push/pop/full-guard event with the acting node, its processor

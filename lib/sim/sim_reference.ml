@@ -96,6 +96,12 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop
             hop_words := !hop_words + (c.hops * Item.words item);
             on_chan c Sim.Ch_push)
           cs);
+    (* Allocation-naive data plane, on purpose: acquires are plain
+       allocations and releases are dropped, preserving the seed engine's
+       behavior exactly. The pooled engine is held bit-identical to this
+       by the suite-wide differential. *)
+    acquire = Bp_image.Image.create;
+    release = (fun _ -> ());
     space =
       (fun port ->
         match find_outs port with
@@ -206,7 +212,7 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
           p_fires = 0;
         })
   in
-  let events : event Heap.t = Heap.create () in
+  let events : event Heap.t = Heap.create ~dummy:(Proc_free (-1)) () in
   let hop_cycles_per_word =
     match placement with
     | Some p -> p.Sim.hop_cycles_per_word
@@ -453,4 +459,5 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     leftover_items;
     events_processed = !processed;
     timed_out = !timed_out;
+    pool = None;
   }

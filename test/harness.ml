@@ -42,6 +42,10 @@ let bench ?(capacity = 1024) (spec : Kernel.t) =
       pop = (fun name -> Queue.pop (in_q name));
       push = (fun name item -> Queue.push item (out_q name));
       space = (fun name -> capacity - Queue.length (out_q name));
+      (* Allocation-naive io: the bench harness exercises behaviours
+         outside any engine, so releases are dropped. *)
+      acquire = Image.create;
+      release = ignore;
     }
   in
   let behaviour = spec.Kernel.make_behaviour () in

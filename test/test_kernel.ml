@@ -193,7 +193,7 @@ let test_wrapper_undeclared_output_rejected () =
   let methods =
     [ Method_spec.on_data ~name:"m" ~inputs:[ "in" ] ~outputs:[ "out" ] () ]
   in
-  let rogue _m _inputs = [ ("other", Image.Gen.constant Size.one 0.) ] in
+  let rogue _m ~alloc:_ _inputs = [ ("other", Image.Gen.constant Size.one 0.) ] in
   let spec =
     Kernel.v ~class_name:"rogue"
       ~inputs:[ Port.input "in" Window.pixel ]

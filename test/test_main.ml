@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("geometry", Test_geometry.suite);
       ("image", Test_image.suite);
+      ("pool", Test_pool.suite);
       ("kernel", Test_kernel.suite);
       ("kernels", Test_kernels.suite);
       ("graph", Test_graph.suite);

@@ -748,7 +748,7 @@ let bottleneck_fixture () =
           ~inputs:[ "in" ] ~outputs:[ "out" ] ();
       ]
     in
-    let run _m inputs = [ ("out", List.assoc "in" inputs) ] in
+    let run _m ~alloc:_ inputs = [ ("out", List.assoc "in" inputs) ] in
     Kernel.v ~class_name:"Heavy"
       ~inputs:[ Port.input "in" Window.pixel ]
       ~outputs:[ Port.output "out" Window.pixel ]

@@ -131,7 +131,7 @@ let test_overload_reports_stalls () =
       ~methods
       ~make_behaviour:(fun () ->
         Behaviour.iteration_kernel ~methods
-          ~run:(fun _ inputs -> [ ("out", List.assoc "in" inputs) ])
+          ~run:(fun _ ~alloc:_ inputs -> [ ("out", List.assoc "in" inputs) ])
           ())
       ()
   in
@@ -209,7 +209,7 @@ let test_multiplexed_mapping_equivalent () =
     (Sim.utilization result ~proc:0 > 0.)
 
 let test_heap_ordering () =
-  let h = Bp_sim.Heap.create () in
+  let h = Bp_sim.Heap.create ~dummy:"" () in
   Alcotest.(check bool) "empty" true (Bp_sim.Heap.is_empty h);
   List.iter
     (fun (t, v) -> Bp_sim.Heap.push h ~time:t v)
@@ -229,7 +229,7 @@ let heap_sorts =
   qtest ~count:100 "heap pops in nondecreasing time order"
     QCheck2.Gen.(list_size (int_range 0 60) (float_bound_inclusive 100.))
     (fun times ->
-      let h = Bp_sim.Heap.create () in
+      let h = Bp_sim.Heap.create ~dummy:() () in
       List.iter (fun t -> Bp_sim.Heap.push h ~time:t ()) times;
       let popped =
         List.init (List.length times) (fun _ ->
