@@ -5,6 +5,8 @@
 open Cmdliner
 open Bp_geometry
 module Pipeline = Bp_compiler.Pipeline
+module Plan = Bp_compiler.Plan
+module Diag = Bp_util.Diag
 module Sim = Bp_sim.Sim
 module App = Bp_apps.App
 
@@ -115,15 +117,19 @@ let handle_errors_code f =
     Format.eprintf "bpc: %a@." Bp_util.Err.pp e;
     1
 
-let compile_common app width height rate frames machine policy =
+let compile_common ?diags ?after_pass app width height rate frames machine
+    policy =
   let frame = Size.v width height in
   let rate = Rate.hz rate in
   let inst = build_app app ~frame ~rate ~n_frames:frames in
   let machine = Bp_machine.Machine.by_name machine in
   let compiled =
-    Pipeline.compile ~align_policy:(policy_of policy) ~machine inst.App.graph
+    Pipeline.compile ~align_policy:(policy_of policy) ?diags ?after_pass
+      ~machine inst.App.graph
   in
   (inst, compiled)
+
+let policy_of_greedy greedy = if greedy then Plan.Greedy else Plan.One_to_one
 
 (* --- subcommands ------------------------------------------------------- *)
 
@@ -138,31 +144,81 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List applications and machine models")
     Term.(const run $ const ())
 
+let dump_after_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Print the graph (nodes, roles, channel counts) as it stands \
+           after the named compile pass — one of validate, analyze-pre, \
+           align, buffering, parallelize, analyze-post, schedulability, \
+           map, place.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the full compilation story: per-pass timings, \
+           accumulated diagnostics, the schedulability verdict, and both \
+           mappings with their placements. Exits non-zero if any \
+           error-severity diagnostic was emitted.")
+
 let compile_cmd =
-  let run app width height rate frames machine policy greedy dot =
-    handle_errors @@ fun () ->
-    let _inst, compiled =
-      compile_common app width height rate frames machine policy
+  let run app width height rate frames machine policy greedy dot dump_after
+      explain =
+    handle_errors_code @@ fun () ->
+    let dumped = ref false in
+    let after_pass =
+      Option.map
+        (fun which ~pass g ->
+          if String.equal pass which then begin
+            dumped := true;
+            Format.printf "@[<v>after pass %s:@,%a@]@." pass
+              Bp_graph.Graph.pp_summary g
+          end)
+        dump_after
     in
-    Format.printf "%a" Pipeline.pp_summary compiled;
-    Format.printf "%a@." Pipeline.pp_passes compiled;
-    Format.printf "%a" Bp_analysis.Dataflow.pp_report compiled.Pipeline.analysis;
-    (match dot with
-    | Some path ->
-      let groups =
-        if greedy then Bp_transform.Multiplex.greedy compiled.Pipeline.machine compiled.Pipeline.graph
-        else Bp_transform.Multiplex.one_to_one compiled.Pipeline.graph
-      in
-      Bp_viz.Dot.write_file ~path
-        (Bp_viz.Dot.to_dot ~title:app ~groups compiled.Pipeline.graph);
-      Format.printf "wrote %s@." path
-    | None -> ())
+    let diags = Diag.buffer () in
+    (* Run compile under our own guard so a failing pass still shows the
+       diagnostics it accumulated (the failing pass's name included). *)
+    match
+      Bp_util.Err.guard (fun () ->
+          compile_common ~diags ?after_pass app width height rate frames
+            machine policy)
+    with
+    | Error e ->
+      Format.eprintf "bpc: %a@." Bp_util.Err.pp e;
+      Format.eprintf "@[<v>%a@]@?" Diag.pp_list (Diag.list diags);
+      1
+    | Ok (_inst, compiled) ->
+      (match dump_after with
+      | Some which when not !dumped ->
+        Bp_util.Err.unsupportedf "--dump-after: no pass named %S ran" which
+      | _ -> ());
+      Format.printf "%a" Pipeline.pp_summary compiled;
+      if explain then Format.printf "%a@." Plan.pp_explain compiled
+      else Format.printf "%a@." Pipeline.pp_passes compiled;
+      Format.printf "%a" Bp_analysis.Dataflow.pp_report
+        compiled.Pipeline.analysis;
+      (match dot with
+      | Some path ->
+        let groups =
+          (Plan.mapped compiled ~policy:(policy_of_greedy greedy)).Plan.groups
+        in
+        Bp_viz.Dot.write_file ~path
+          (Bp_viz.Dot.to_dot ~title:app ~groups compiled.Pipeline.graph);
+        Format.printf "wrote %s@." path
+      | None -> ());
+      if explain && Plan.errors compiled <> [] then 1 else 0
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an application and print the analysis")
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
-      $ machine_arg $ policy_arg $ greedy_arg $ dot_arg)
+      $ machine_arg $ policy_arg $ greedy_arg $ dot_arg $ dump_after_arg
+      $ explain_arg)
 
 let trace_arg =
   Arg.(
@@ -229,10 +285,8 @@ let simulate_cmd =
     in
     Format.printf "%a" Pipeline.pp_summary compiled;
     if sched then
-      Format.printf "@[<v>%a@]@."
-        Bp_transform.Schedulability.pp
-        (Bp_transform.Schedulability.check compiled.Pipeline.machine
-           compiled.Pipeline.graph);
+      Format.printf "@[<v>%a@]@." Bp_transform.Schedulability.pp
+        compiled.Pipeline.schedulability;
     let recorded, trace_observer = Bp_sim.Trace.recorder () in
     let obs = Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph () in
     let hlt = Bp_obs.Health.create ~graph:compiled.Pipeline.graph () in
@@ -241,23 +295,19 @@ let simulate_cmd =
         [ trace_observer; Bp_obs.Instrument.observer obs ]
     in
     let gc_before = Bp_obs.Metrics.gc_snapshot () in
-    let wall_t0 = Unix.gettimeofday () in
+    let wall_t0 = Bp_util.Clock.now_s () in
     let result =
-      let mapping =
-        if greedy then Pipeline.mapping_greedy compiled
-        else Pipeline.mapping_one_to_one compiled
-      in
-      Sim.run ~observer ~pool:(not no_pool)
+      Plan.run_plan ~pool:(not no_pool) ~observer
         ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
         ~state_observer:(Bp_obs.Health.state_observer hlt)
-        ~graph:compiled.Pipeline.graph ~mapping
-        ~machine:compiled.Pipeline.machine ()
+        ~policy:(policy_of_greedy greedy) compiled ()
     in
-    let wall_s = Unix.gettimeofday () -. wall_t0 in
+    let wall_s = Bp_util.Clock.elapsed_s ~since:wall_t0 in
     let gc_after = Bp_obs.Metrics.gc_snapshot () in
     Bp_obs.Instrument.finalize obs ~result;
     Bp_obs.Health.finalize hlt ~result ();
     let reg = Bp_obs.Instrument.metrics obs in
+    Bp_obs.Instrument.record_compile reg compiled;
     Bp_obs.Metrics.record_gc reg ~before:gc_before ~after:gc_after ();
     (match result.Sim.pool with
     | Some p ->
@@ -290,7 +340,7 @@ let simulate_cmd =
     | Some path ->
       Bp_obs.Chrome_trace.write_file ~path
         (Bp_obs.Chrome_trace.of_run
-           ~compile_passes:compiled.Pipeline.passes ~instrument:obs
+           ~compile_passes:compiled.Pipeline.timings ~instrument:obs
            ~health:hlt ~graph:compiled.Pipeline.graph ~trace:recorded ());
       Format.printf "wrote %s@." path
     | None -> ());
@@ -360,7 +410,9 @@ let run_cmd =
         (Bp_viz.Dot.to_dot ~title:file compiled.Pipeline.graph);
       Format.printf "wrote %s@." path
     | None -> ());
-    let result = Pipeline.simulate compiled ~greedy in
+    let result =
+      Plan.run_plan ~policy:(policy_of_greedy greedy) compiled ()
+    in
     Format.printf "%a@." Sim.pp_result result;
     List.iter
       (fun (name, collector) ->
@@ -483,14 +535,9 @@ let report_cmd =
     in
     let hlt = Bp_obs.Health.create ~graph:compiled.Pipeline.graph () in
     let result =
-      let mapping =
-        if greedy then Pipeline.mapping_greedy compiled
-        else Pipeline.mapping_one_to_one compiled
-      in
-      Sim.run
+      Plan.run_plan
         ~state_observer:(Bp_obs.Health.state_observer hlt)
-        ~graph:compiled.Pipeline.graph ~mapping
-        ~machine:compiled.Pipeline.machine ()
+        ~policy:(policy_of_greedy greedy) compiled ()
     in
     Bp_obs.Health.finalize hlt ~result ();
     Format.printf "%s (%s mapping)@." app

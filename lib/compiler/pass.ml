@@ -1,0 +1,98 @@
+open Bp_util
+module Graph = Bp_graph.Graph
+
+type timing = {
+  pass : string;
+  wall_s : float;
+  nodes_before : int;
+  nodes_after : int;
+  channels_before : int;
+  channels_after : int;
+}
+
+type 'state invariant = string * ('state -> unit)
+
+type 'state t = {
+  pass_name : string;
+  run : 'state -> unit;
+  invariants : 'state invariant list;
+}
+
+let v ?(invariants = []) pass_name run = { pass_name; run; invariants }
+let name p = p.pass_name
+
+let wrap_err ~pass e =
+  let prefix s = Printf.sprintf "pass %s: %s" pass s in
+  match (e : Err.t) with
+  | Err.Invalid_parameterization s -> Err.Invalid_parameterization (prefix s)
+  | Err.Graph_malformed s -> Err.Graph_malformed (prefix s)
+  | Err.Rate_mismatch s -> Err.Rate_mismatch (prefix s)
+  | Err.Alignment_error s -> Err.Alignment_error (prefix s)
+  | Err.Resource_exhausted s -> Err.Resource_exhausted (prefix s)
+  | Err.Not_schedulable s -> Err.Not_schedulable (prefix s)
+  | Err.Unsupported s -> Err.Unsupported (prefix s)
+
+let run_all ~graph ~diags ~timings ?after_pass state passes =
+  List.iter
+    (fun p ->
+      let g = graph state in
+      let nodes_before = Graph.size g in
+      let channels_before = List.length (Graph.channels g) in
+      let t0 = Clock.now_s () in
+      let record () =
+        let g = graph state in
+        timings :=
+          !timings
+          @ [
+              {
+                pass = p.pass_name;
+                wall_s = Clock.elapsed_s ~since:t0;
+                nodes_before;
+                nodes_after = Graph.size g;
+                channels_before;
+                channels_after = List.length (Graph.channels g);
+              };
+            ]
+      in
+      (* The pass barrier: run the body, then every post-invariant, inside
+         one timing window. A failure anywhere records the partial timing
+         and an error diagnostic before the (wrapped) error escapes. *)
+      match
+        Err.guard (fun () ->
+            p.run state;
+            List.iter
+              (fun (inv_name, check) ->
+                match Err.guard (fun () -> check state) with
+                | Ok () -> ()
+                | Error e ->
+                  Err.fail
+                    (wrap_err ~pass:(p.pass_name ^ "/" ^ inv_name) e))
+              p.invariants)
+      with
+      | Ok () -> (
+        record ();
+        match after_pass with
+        | Some f -> f ~pass:p.pass_name state
+        | None -> ())
+      | Error e ->
+        record ();
+        let wrapped =
+          (* Invariant failures arrive already wrapped with
+             "pass <name>/<invariant>"; wrap bare pass-body errors here. *)
+          let already =
+            let prefix = "pass " ^ p.pass_name in
+            let s = Err.to_string e in
+            (* Err.to_string prepends the class; search for the marker. *)
+            let rec contains i =
+              let np = String.length prefix and ns = String.length s in
+              i + np <= ns
+              && (String.sub s i np = prefix || contains (i + 1))
+            in
+            contains 0
+          in
+          if already then e else wrap_err ~pass:p.pass_name e
+        in
+        Diag.add diags
+          (Diag.v Diag.Error ~pass:p.pass_name (Err.to_string wrapped));
+        Err.fail wrapped)
+    passes

@@ -3,6 +3,8 @@ module Schedulability = Bp_transform.Schedulability
 
 type probe = { rate_hz : float; pes : int; fits : bool }
 
+let policy_of_greedy greedy = if greedy then Plan.Greedy else Plan.One_to_one
+
 type result = {
   best_rate_hz : float;
   best_pes : int;
@@ -14,11 +16,12 @@ let try_rate ~machine ~max_pes ~greedy build rate_hz =
     Bp_util.Err.guard (fun () ->
         let g = build ~rate_hz in
         let compiled = Pipeline.compile ~machine g in
-        let pes = Pipeline.processors_needed compiled ~greedy in
-        let sched =
-          Schedulability.check machine compiled.Pipeline.graph
+        let pes =
+          Plan.processors_needed compiled ~policy:(policy_of_greedy greedy)
         in
-        (pes, sched.Schedulability.schedulable))
+        (* The schedulability pass already ran inside [compile]; read the
+           plan's verdict instead of re-deriving it. *)
+        (pes, compiled.Plan.schedulability.Schedulability.schedulable))
   with
   | Ok (pes, schedulable) ->
     { rate_hz; pes; fits = (schedulable && pes <= max_pes) }

@@ -58,13 +58,23 @@ module Align = Bp_transform.Align
 module Parallelize = Bp_transform.Parallelize
 module Multiplex = Bp_transform.Multiplex
 module Schedulability = Bp_transform.Schedulability
+module Pass = Bp_compiler.Pass
+module Plan = Bp_compiler.Plan
 module Pipeline = Bp_compiler.Pipeline
 module Rate_search = Bp_compiler.Rate_search
 
 (** {1 Execution} *)
 
 module Mapping = Bp_sim.Mapping
-module Sim = Bp_sim.Sim
+
+module Sim = struct
+  include Bp_sim.Sim
+
+  (* The layering keeps [Bp_sim] below the compiler, so the plan-driven
+     entry lives in {!Bp_compiler.Plan} and is surfaced here, where
+     applications expect to find their execution API. *)
+  let run_plan = Bp_compiler.Plan.run_plan
+end
 module Sim_reference = Bp_sim.Sim_reference
 module Ring = Bp_sim.Ring
 module Trace = Bp_sim.Trace
@@ -105,6 +115,8 @@ module Lang = Bp_lang.Lang
 (** {1 Utilities} *)
 
 module Err = Bp_util.Err
+module Diag = Bp_util.Diag
+module Clock = Bp_util.Clock
 module Id = Bp_util.Id
 module Stats = Bp_util.Stats
 module Prng = Bp_util.Prng

@@ -128,3 +128,25 @@ let compose observers ~time_s ~proc ~node ~method_name ~service_s =
   List.iter
     (fun f -> f ~time_s ~proc ~node ~method_name ~service_s)
     observers
+
+(* ---- compile-side metrics --------------------------------------------- *)
+
+let record_compile m (plan : Bp_compiler.Plan.t) =
+  let total =
+    List.fold_left
+      (fun acc (p : Bp_compiler.Pass.timing) ->
+        Metrics.set m
+          (Printf.sprintf "compile.pass.%s.wall_s" p.Bp_compiler.Pass.pass)
+          p.Bp_compiler.Pass.wall_s;
+        acc +. p.Bp_compiler.Pass.wall_s)
+      0. plan.Bp_compiler.Plan.timings
+  in
+  Metrics.set m "compile.wall_s" total;
+  Metrics.incr m ~by:0 "compile.diag.info";
+  Metrics.incr m ~by:0 "compile.diag.warning";
+  Metrics.incr m ~by:0 "compile.diag.error";
+  List.iter
+    (fun (d : Bp_util.Diag.t) ->
+      Metrics.incr m
+        ("compile.diag." ^ Bp_util.Diag.severity_name d.Bp_util.Diag.severity))
+    plan.Bp_compiler.Plan.diagnostics

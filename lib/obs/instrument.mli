@@ -91,3 +91,11 @@ val channel_series : t -> (int * (float * int) list) list
 val channel_label : Bp_graph.Graph.t -> int -> string
 (** ["src.port->dst.port"] for a channel id — how metrics' [chan.<id>.*]
     names map back to the graph. *)
+
+val record_compile : Metrics.t -> Bp_compiler.Plan.t -> unit
+(** Fold a compilation plan's pass timings and diagnostics into the
+    registry, next to the simulation metrics: gauges
+    [compile.pass.<name>.wall_s] and [compile.wall_s] (their sum),
+    counters [compile.diag.info], [compile.diag.warning],
+    [compile.diag.error] (pre-registered at zero). Names are part of the
+    observability contract (docs/OBSERVABILITY.md). *)

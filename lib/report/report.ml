@@ -5,6 +5,7 @@ module Machine = Bp_machine.Machine
 module Dataflow = Bp_analysis.Dataflow
 module Stream = Bp_analysis.Stream
 module Pipeline = Bp_compiler.Pipeline
+module Plan = Bp_compiler.Plan
 module Sim = Bp_sim.Sim
 module Mapping = Bp_sim.Mapping
 module App = Bp_apps.App
@@ -134,7 +135,7 @@ let fig4 ppf =
         (d.Bp_transform.Parallelize.original, d.Bp_transform.Parallelize.degree))
       compiled.Pipeline.decisions
   in
-  let result = Sim.run ~graph:g ~mapping:(Mapping.one_to_one g) ~machine () in
+  let result = Plan.run_plan ~policy:Plan.One_to_one compiled () in
   let verdict =
     Sim.real_time_verdict result ~expected_frames:inst.App.n_frames
       ~period_s:(App.period_s inst) ()
@@ -354,9 +355,7 @@ let fig10 ppf =
            let _, b = ranges.(k) and a', _ = ranges.(k + 1) in
            List.init (max 0 (b - a')) (fun i -> a' + i)))
   in
-  let result =
-    Sim.run ~graph:g ~mapping:(Mapping.one_to_one g) ~machine ()
-  in
+  let result = Plan.run_plan ~policy:Plan.One_to_one compiled () in
   let _, ok = App.verify inst result in
   let out = { ranges; overlap_columns; pattern; exact = ok } in
   let table =
@@ -416,9 +415,7 @@ let fig11 ppf =
                (fun (n : Graph.node) -> n.Graph.spec.Spec.role = role)
                (Graph.nodes g))
         in
-        let result =
-          Sim.run ~graph:g ~mapping:(Mapping.one_to_one g) ~machine ()
-        in
+        let result = Plan.run_plan ~policy:Plan.One_to_one compiled () in
         let verdict =
           Sim.real_time_verdict result ~expected_frames:inst.App.n_frames
             ~period_s:(App.period_s inst) ()
@@ -428,7 +425,7 @@ let fig11 ppf =
           config;
           buffers = count Spec.Buffer;
           compute_replicas = count Spec.Compute;
-          pes_1to1 = Mapping.processors (Mapping.one_to_one g);
+          pes_1to1 = Plan.processors_needed compiled ~policy:Plan.One_to_one;
           met = verdict.Sim.met && functional;
         })
       corners
@@ -465,12 +462,12 @@ let fig12 ppf =
   let inst = example () in
   let machine = Machine.default in
   let compiled = Pipeline.compile ~machine inst.App.graph in
-  let measure greedy =
-    let result = Pipeline.simulate compiled ~greedy in
+  let measure policy =
+    let result = Plan.run_plan ~policy compiled () in
     (Array.length result.Sim.procs, Sim.average_utilization result)
   in
-  let pes_1to1, util_1to1 = measure false in
-  let pes_greedy, util_greedy = measure true in
+  let pes_1to1, util_1to1 = measure Plan.One_to_one in
+  let pes_greedy, util_greedy = measure Plan.Greedy in
   let out = { pes_1to1; pes_greedy; util_1to1; util_greedy } in
   let table =
     Table.create
@@ -515,8 +512,8 @@ let fig13 ppf =
           Pipeline.compile ~machine:e.Bp_apps.Suite.machine inst.App.graph
         in
         List.map
-          (fun greedy ->
-            let result = Pipeline.simulate compiled ~greedy in
+          (fun policy ->
+            let result = Plan.run_plan ~policy compiled () in
             let run, read, write = Sim.utilization_breakdown result in
             let verdict =
               Sim.real_time_verdict result
@@ -526,7 +523,7 @@ let fig13 ppf =
             let _, functional = App.verify inst result in
             {
               label = e.Bp_apps.Suite.label;
-              mapping = (if greedy then "GM" else "1:1");
+              mapping = (match policy with Plan.Greedy -> "GM" | Plan.One_to_one -> "1:1");
               pes = Array.length result.Sim.procs;
               run;
               read;
@@ -535,7 +532,7 @@ let fig13 ppf =
               rt_met = verdict.Sim.met;
               functional;
             })
-          [ false; true ])
+          [ Plan.One_to_one; Plan.Greedy ])
       Bp_apps.Suite.entries
   in
   let improvements =
@@ -610,20 +607,15 @@ let utilization_table ppf =
           Pipeline.compile ~machine:e.Bp_apps.Suite.machine inst.App.graph
         in
         List.map
-          (fun greedy ->
-            let mapping =
-              if greedy then Pipeline.mapping_greedy compiled
-              else Pipeline.mapping_one_to_one compiled
-            in
+          (fun policy ->
             let obs =
               Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph ()
             in
             let result =
-              Sim.run
+              Plan.run_plan
                 ~observer:(Bp_obs.Instrument.observer obs)
                 ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
-                ~graph:compiled.Pipeline.graph ~mapping
-                ~machine:compiled.Pipeline.machine ()
+                ~policy compiled ()
             in
             Bp_obs.Instrument.finalize obs ~result;
             let m = Bp_obs.Instrument.metrics obs in
@@ -656,14 +648,15 @@ let utilization_table ppf =
             in
             {
               u_label = e.Bp_apps.Suite.label;
-              u_mapping = (if greedy then "GM" else "1:1");
+              u_mapping =
+                (match policy with Plan.Greedy -> "GM" | Plan.One_to_one -> "1:1");
               u_pes = pes;
               u_avg = Stats.mean utils;
               u_min = (match utils with [] -> 0. | l -> List.fold_left Float.min infinity l);
               u_max = (match utils with [] -> 0. | l -> Stats.maximum l);
               u_busiest = busiest;
             })
-          [ false; true ])
+          [ Plan.One_to_one; Plan.Greedy ])
       Bp_apps.Suite.entries
   in
   let table =
@@ -700,10 +693,11 @@ let placement_ablation ppf =
   let inst = example () in
   let machine = Machine.default in
   let compiled = Pipeline.compile ~machine inst.App.graph in
-  let mapping = Pipeline.mapping_one_to_one compiled in
+  let mapping = Plan.mapping compiled ~policy:Plan.One_to_one in
   let an = compiled.Pipeline.analysis in
   let random = Bp_placement.Placement.random_placement ~seed:5 an mapping in
-  let annealed = Bp_placement.Placement.place an mapping in
+  (* The annealed placement is already in the plan — the [place] pass ran. *)
+  let annealed = Plan.placement compiled ~policy:Plan.One_to_one in
   let out =
     {
       random_cost = random.Bp_placement.Placement.cost;
@@ -740,16 +734,16 @@ let energy_ablation ppf =
   let compiled = Pipeline.compile ~machine inst.App.graph in
   let rows =
     List.map
-      (fun greedy ->
-        let result = Pipeline.simulate compiled ~greedy in
+      (fun policy ->
+        let result = Plan.run_plan ~policy compiled () in
         let e = Bp_sim.Energy.of_result ~machine result in
         {
-          e_mapping = (if greedy then "greedy" else "1:1");
+          e_mapping = Plan.policy_name policy;
           e_pes = e.Bp_sim.Energy.pes;
           e_total_uj = e.Bp_sim.Energy.total_uj;
           e_static_uj = e.Bp_sim.Energy.static_uj;
         })
-      [ false; true ]
+      [ Plan.One_to_one; Plan.Greedy ]
   in
   let table =
     Table.create ~title:"Energy (extension): multiplexing saves static power"
@@ -788,7 +782,7 @@ let machine_ablation ppf =
                (fun (n : Graph.node) -> n.Graph.spec.Spec.role = Spec.Compute)
                (Graph.nodes g))
         in
-        let result = Pipeline.simulate compiled ~greedy:false in
+        let result = Plan.run_plan ~policy:Plan.One_to_one compiled () in
         let verdict =
           Sim.real_time_verdict result ~expected_frames:inst.App.n_frames
             ~period_s:(App.period_s inst) ()
@@ -839,12 +833,7 @@ let export_dots ~dir ppf =
   let parallel ~clusters title () =
     let inst = example ~frame:(Size.v 48 36) ~rate:(Rate.hz 40.) () in
     let compiled = Pipeline.compile ~machine:Machine.small_memory inst.App.graph in
-    let groups =
-      if clusters then
-        Bp_transform.Multiplex.greedy compiled.Pipeline.machine
-          compiled.Pipeline.graph
-      else []
-    in
+    let groups = if clusters then compiled.Pipeline.greedy_groups else [] in
     Bp_viz.Dot.to_dot ~title ~groups compiled.Pipeline.graph
   in
   let p1 = write "fig1b.dot" raw in

@@ -1,0 +1,12 @@
+(* A monotonicized wall clock: remember the highest reading handed out and
+   never go below it. This makes interval measurements robust against
+   backward NTP steps without requiring C stubs for CLOCK_MONOTONIC. *)
+
+let last = ref 0.
+
+let now_s () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed_s ~since = Float.max 0. (now_s () -. since)

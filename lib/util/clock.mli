@@ -1,0 +1,22 @@
+(** Monotonic timestamps for measuring elapsed wall time.
+
+    [Unix.gettimeofday] follows the system clock, which NTP may step
+    backwards; naive [t1 -. t0] differences can then go negative, which
+    poisons timing tables and trace exports. The stdlib does not expose
+    [CLOCK_MONOTONIC] without C stubs, so this module monotonicizes the
+    wall clock instead: {!now_s} never returns a value smaller than any
+    value it has already returned, so durations measured between two
+    {!now_s} readings are never negative (a backward step reads as a
+    zero-length interval, a forward step passes through unchanged).
+
+    All compile-pass timings ({!Bp_compiler.Pass}) read this clock. *)
+
+val now_s : unit -> float
+(** The current time in seconds. Non-decreasing across calls within the
+    process; the absolute origin is the Unix epoch (whatever the system
+    clock claimed at the highest reading so far). *)
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since] is [now_s () -. since], clamped to be
+    non-negative (defensive: with [since] from {!now_s} the clamp never
+    engages). *)

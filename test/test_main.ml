@@ -11,6 +11,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("transform", Test_transform.suite);
       ("sim", Test_sim.suite);
+      ("plan", Test_plan.suite);
       ("placement", Test_placement.suite);
       ("lang", Test_lang.suite);
       ("extensions", Test_extensions.suite);

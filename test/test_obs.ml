@@ -446,7 +446,7 @@ let test_chrome_trace_schema () =
   Instrument.finalize obs ~result;
   Health.finalize h ~result ();
   let doc =
-    Chrome_trace.of_run ~compile_passes:compiled.Pipeline.passes
+    Chrome_trace.of_run ~compile_passes:compiled.Pipeline.timings
       ~instrument:obs ~health:h ~graph:g ~trace ()
   in
   let parsed = parse_json (Obs_json.to_string doc) in
@@ -549,7 +549,7 @@ let test_chrome_trace_schema () =
       events
   in
   Alcotest.(check int) "one slice per compile pass"
-    (List.length compiled.Pipeline.passes)
+    (List.length compiled.Pipeline.timings)
     (List.length passes)
 
 let test_json_escaping_roundtrip () =
@@ -562,11 +562,11 @@ let test_json_escaping_roundtrip () =
 
 let test_pass_timings () =
   let compiled = compiled_pipeline () in
-  let names = List.map (fun p -> p.Pipeline.pass) compiled.Pipeline.passes in
+  let names = List.map (fun p -> p.Pipeline.pass) compiled.Pipeline.timings in
   Alcotest.(check (list string)) "passes in order"
     [
       "validate"; "analyze-pre"; "align"; "buffering"; "parallelize";
-      "analyze-post"; "check";
+      "analyze-post"; "schedulability"; "map"; "place";
     ]
     names;
   List.iter
@@ -574,9 +574,9 @@ let test_pass_timings () =
       Alcotest.(check bool) "wall time non-negative" true (p.Pipeline.wall_s >= 0.);
       Alcotest.(check bool) "node counts sane" true
         (p.Pipeline.nodes_after >= p.Pipeline.nodes_before))
-    compiled.Pipeline.passes;
+    compiled.Pipeline.timings;
   let par =
-    List.find (fun p -> p.Pipeline.pass = "parallelize") compiled.Pipeline.passes
+    List.find (fun p -> p.Pipeline.pass = "parallelize") compiled.Pipeline.timings
   in
   Alcotest.(check bool) "parallelize grows the graph" true
     (par.Pipeline.nodes_after > par.Pipeline.nodes_before)
