@@ -3,18 +3,27 @@
    Times full simulation runs (compile excluded) of the image-pipeline
    and histogram applications under both mappings, on the event-driven
    engine (pooled and unpooled data plane) and the preserved polling
-   reference, and writes the numbers to BENCH_SIM.json (schema
-   bench-sim/v2) so throughput *and* GC pressure are tracked across PRs.
+   reference, plus the Figure 13 suite sweep sharded across 1/2/4/8
+   worker domains (the scaling axis of docs/PARALLELISM.md), and writes
+   the numbers to BENCH_SIM.json (schema bench-sim/v3) so throughput,
+   GC pressure, *and* domain scaling are tracked across PRs.
    docs/PERFORMANCE.md explains how to read the output.
 
    Run with:            dune exec bench/sim_bench.exe
    Fewer repetitions:   BENCH_SIM_REPEATS=1 dune exec bench/sim_bench.exe
    No warmup:           BENCH_SIM_WARMUP=0 dune exec bench/sim_bench.exe
    Different output:    BENCH_SIM_OUT=/tmp/out.json dune exec bench/sim_bench.exe
+   Skip the sweep axis: BENCH_SIM_DOMAINS=0 dune exec bench/sim_bench.exe
+
+   The scaling gate (suite sweep at -j 2 must finish in at most 0.9 of
+   the -j 1 wall time) arms itself only when the host can actually run
+   two domains in parallel (Domain.recommended_domain_count >= 2, or
+   BENCH_SIM_FORCE_SCALING=1) — on a single-core host the axis is still
+   measured and recorded, but scaling is not asserted.
 
    Regression gate (exits non-zero when any fixture×mapping loses more
    than BENCH_SIM_TOLERANCE — default 0.4 — of its baseline events/s;
-   works against both v1 and v2 files):
+   works against v1, v2, and v3 files):
 
      dune exec bench/sim_bench.exe -- --against BENCH_SIM.json *)
 
@@ -197,6 +206,118 @@ let run_fixture fx ~greedy =
     (ref_wall /. wall);
   Obs_json.Obj fields
 
+(* ---- the domain-scaling axis ------------------------------------------ *)
+
+(* One suite sweep (all Figure 13 entries, both mappings) per domain
+   count. The merged outcomes are bit-identical for every -j
+   (docs/PARALLELISM.md), which the axis asserts by comparing total
+   event counts; what varies — and what this axis records — is wall
+   time and the steal/stat telemetry. *)
+let sweep_jobs () =
+  List.concat_map
+    (fun (e : Apps.Suite.entry) ->
+      List.map
+        (fun policy ->
+          {
+            Sweep.label = e.Apps.Suite.label;
+            machine = e.Apps.Suite.machine;
+            policy;
+            build = (fun () -> (e.Apps.Suite.build ()).App.graph);
+          })
+        [ Plan.One_to_one; Plan.Greedy ])
+    Apps.Suite.entries
+
+let run_sweep ~domains =
+  Sweep.with_pool ~domains @@ fun pool ->
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Sweep.simulate_jobs pool (sweep_jobs ()) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events =
+    List.fold_left
+      (fun acc (o : Sweep.outcome) ->
+        acc + o.Sweep.o_result.Sim.events_processed)
+      0 outcomes
+  in
+  let steals =
+    List.fold_left
+      (fun acc (d : Sweep.domain_report) -> acc + d.Sweep.d_steals)
+      0 (Sweep.report pool)
+  in
+  (wall, events, List.length outcomes, steals)
+
+let domain_axis () =
+  let cores = Domain.recommended_domain_count () in
+  let force = Sys.getenv_opt "BENCH_SIM_FORCE_SCALING" = Some "1" in
+  print_endline "==== suite sweep domain scaling ====";
+  ignore (run_sweep ~domains:1) (* warmup: fault in every suite app *);
+  let levels = [ 1; 2; 4; 8 ] in
+  let runs =
+    List.map (fun d -> (d, run_sweep ~domains:d)) levels
+  in
+  let base_wall, base_events, jobs, _ =
+    match runs with (1, r) :: _ -> r | _ -> assert false
+  in
+  List.iter
+    (fun (_, (_, events, _, _)) ->
+      if events <> base_events then
+        failwith "suite sweep event counts diverged across -j")
+    runs;
+  let rows =
+    List.map
+      (fun (d, (wall, events, jobs, steals)) ->
+        let speedup = if wall > 0. then base_wall /. wall else 0. in
+        Printf.printf
+          "suite-sweep               -j %-7d %8.2f ms      %10.0f events/s  \
+           %5.2fx vs -j 1  (%d steals)\n\
+           %!"
+          d (wall *. 1e3)
+          (if wall > 0. then float_of_int events /. wall else 0.)
+          speedup steals;
+        Obs_json.Obj
+          [
+            ("domains", Obs_json.Int d);
+            ("jobs", Obs_json.Int jobs);
+            ("events", Obs_json.Int events);
+            ("wall_s", Obs_json.float wall);
+            ( "events_per_s",
+              Obs_json.float
+                (if wall > 0. then float_of_int events /. wall else 0.) );
+            ("speedup_vs_1", Obs_json.float speedup);
+            ("steals", Obs_json.Int steals);
+          ])
+      runs
+  in
+  let gate_armed = cores >= 2 || force in
+  if gate_armed then begin
+    let wall2 =
+      match List.assoc_opt 2 runs with
+      | Some (w, _, _, _) -> w
+      | None -> assert false
+    in
+    if wall2 > base_wall *. 0.9 then begin
+      Printf.printf
+        "SCALING REGRESSION: -j 2 sweep took %.1f ms > 0.9 x -j 1 (%.1f ms) \
+         on a %d-core host\n"
+        (wall2 *. 1e3) (base_wall *. 1e3) cores;
+      exit 1
+    end
+    else
+      Printf.printf "scaling gate: -j 2 %.2fx vs -j 1 (<= 0.9 required) ok\n"
+        (base_wall /. wall2)
+  end
+  else
+    Printf.printf
+      "scaling gate: skipped (host reports %d core%s; set \
+       BENCH_SIM_FORCE_SCALING=1 to arm)\n"
+      cores
+      (if cores = 1 then "" else "s");
+  ignore jobs;
+  ( rows,
+    [
+      ("cores", Obs_json.Int cores);
+      ("scaling_gate_armed", Obs_json.Bool gate_armed);
+    ] )
+
 (* ---- regression gate -------------------------------------------------- *)
 
 let row_key row =
@@ -278,14 +399,22 @@ let () =
   match against with
   | Some path -> check_against ~path rows
   | None ->
+    let domain_rows, host_fields =
+      if env_int "BENCH_SIM_DOMAINS" 1 = 0 then ([], [])
+      else domain_axis ()
+    in
     let out =
       Obs_json.Obj
-        [
-          ("schema", Obs_json.Str "bench-sim/v2");
-          ("repeats", Obs_json.Int repeats);
-          ("warmup", Obs_json.Int warmup);
-          ("fixtures", Obs_json.List rows);
-        ]
+        ([
+           ("schema", Obs_json.Str "bench-sim/v3");
+           ("repeats", Obs_json.Int repeats);
+           ("warmup", Obs_json.Int warmup);
+         ]
+        @ host_fields
+        @ [
+            ("fixtures", Obs_json.List rows);
+            ("domains", Obs_json.List domain_rows);
+          ])
     in
     let path =
       Option.value (Sys.getenv_opt "BENCH_SIM_OUT") ~default:"BENCH_SIM.json"

@@ -377,16 +377,167 @@ let simulate_cmd =
        functional mismatch, so CI smokes catch regressions. *)
     if (not verdict.Sim.met) || result.Sim.timed_out || not ok then 1 else 0
   in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compile APP, run the timing-accurate simulation, check the \
+         outputs against the reference image operations, and verify the \
+         declared input rate was sustained. Exits non-zero when the run \
+         misses the declared rate, deadlocks, or miscomputes.";
+      `P
+        "Artifact flags, all optional and composable: $(b,--trace) FILE \
+         writes a Chrome trace_event timeline, $(b,--metrics) FILE the \
+         structured metrics snapshot, $(b,--health) FILE the real-time \
+         health snapshot (all JSON; contracts in docs/OBSERVABILITY.md). \
+         $(b,--no-pool) disables the chunk-pool data plane to A/B \
+         allocation behaviour (docs/PERFORMANCE.md) — results are \
+         bit-identical either way.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "simulate"
+    (Cmd.info "simulate" ~man
        ~doc:
          "Compile, simulate, and verify function and throughput (exits \
           non-zero when the run misses the declared rate, deadlocks, or \
-          miscomputes)")
+          miscomputes); --trace/--metrics/--health write JSON artifacts, \
+          --no-pool A/Bs the data plane")
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
       $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ metrics_arg
       $ health_arg $ gantt_arg $ energy_arg $ sched_arg $ no_pool_arg)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains to shard independent compile+simulate tasks \
+           across (1 = serial, inline). Merged results are bit-identical \
+           for every N (docs/PARALLELISM.md); only wall time and the \
+           per-domain telemetry change.")
+
+let sweep_cmd =
+  let module Sweep = Bp_compiler.Sweep in
+  let module Suite = Bp_apps.Suite in
+  let labels_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"LABEL"
+          ~doc:
+            "Suite entries to sweep (default: the full Figure 13 suite; \
+             see labels in $(b,bpc report fig13)).")
+  in
+  let run labels jobs metrics =
+    handle_errors_code @@ fun () ->
+    let entries =
+      match labels with
+      | [] -> Suite.entries
+      | ls -> List.map Suite.by_label ls
+    in
+    let tasks =
+      List.concat_map
+        (fun (e : Suite.entry) ->
+          List.map
+            (fun policy ->
+              {
+                Bp_compiler.Sweep.label = e.Suite.label;
+                machine = e.Suite.machine;
+                policy;
+                build = (fun () -> (e.Suite.build ()).App.graph);
+              })
+            [ Plan.One_to_one; Plan.Greedy ])
+        entries
+    in
+    let t0 = Bp_util.Clock.now_s () in
+    Sweep.with_pool ~domains:jobs @@ fun pool ->
+    let outcomes = Sweep.simulate_jobs pool tasks in
+    let wall_s = Bp_util.Clock.elapsed_s ~since:t0 in
+    (* The merged table is part of the determinism contract: identical
+       for every -j (docs/PARALLELISM.md). Telemetry (wall time, domain
+       breakdown) prints separately below. *)
+    Format.printf "%-6s %-8s %4s %9s %10s %6s %9s@." "app" "mapping" "PEs"
+      "events" "sim-time" "late" "leftover";
+    let bad = ref 0 in
+    List.iter
+      (fun (o : Sweep.outcome) ->
+        let r = o.Sweep.o_result in
+        if r.Sim.timed_out then incr bad;
+        Format.printf "%-6s %-8s %4d %9d %9.3fs %6d %9d%s@."
+          o.Sweep.o_label
+          (match o.Sweep.o_policy with
+          | Plan.Greedy -> "greedy"
+          | Plan.One_to_one -> "1:1")
+          (Array.length r.Sim.procs)
+          r.Sim.events_processed r.Sim.duration_s r.Sim.late_emissions
+          r.Sim.leftover_items
+          (if r.Sim.timed_out then "  TIMED OUT" else ""))
+      outcomes;
+    let events =
+      List.fold_left
+        (fun acc (o : Sweep.outcome) ->
+          acc + o.Sweep.o_result.Sim.events_processed)
+        0 outcomes
+    in
+    Format.printf "swept %d jobs on %d domain%s in %.1f ms (%.0f events/s)@."
+      (List.length outcomes) (Sweep.domains pool)
+      (if Sweep.domains pool = 1 then "" else "s")
+      (wall_s *. 1e3)
+      (if wall_s > 0. then float_of_int events /. wall_s else 0.);
+    let reports = Sweep.report pool in
+    List.iter
+      (fun (d : Sweep.domain_report) ->
+        let p = d.Sweep.d_pool in
+        let acquires = p.Bp_image.Pool.hits + p.Bp_image.Pool.misses in
+        Format.printf
+          "  domain %d: %d tasks, %.1f ms, %d steals, pool hit rate %.1f%%@."
+          d.Sweep.d_domain d.Sweep.d_tasks
+          (d.Sweep.d_wall_s *. 1e3)
+          d.Sweep.d_steals
+          (if acquires = 0 then 0.
+           else
+             100.
+             *. float_of_int p.Bp_image.Pool.hits
+             /. float_of_int acquires))
+      reports;
+    (match metrics with
+    | Some path ->
+      let reg = Bp_obs.Metrics.create () in
+      List.iter
+        (fun (d : Sweep.domain_report) ->
+          Bp_obs.Metrics.record_domain reg ~domain:d.Sweep.d_domain
+            ~tasks:d.Sweep.d_tasks ~wall_s:d.Sweep.d_wall_s
+            ~steals:d.Sweep.d_steals ())
+        reports;
+      Bp_obs.Metrics.incr reg ~by:(List.length outcomes) "sim.sweep.tasks";
+      Bp_obs.Metrics.incr reg ~by:events "sim.sweep.events";
+      Bp_obs.Metrics.set reg "sim.sweep.wall_s" wall_s;
+      Bp_obs.Metrics.set reg "sim.sweep.domains"
+        (float_of_int (Sweep.domains pool));
+      Bp_obs.Json.write_file ~path (Bp_obs.Metrics.to_json reg);
+      Format.printf "wrote %s@." path
+    | None -> ());
+    if !bad > 0 then 1 else 0
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compile and simulate every selected suite entry under both \
+         mappings (1:1 and greedy), sharded across $(b,-j) worker \
+         domains — each worker owns its own chunk pool, and results \
+         merge back in submission order, so the table is bit-identical \
+         for every $(b,-j) (the contract is docs/PARALLELISM.md). \
+         $(b,--metrics) FILE exports the per-domain \
+         sim.domain.<i>.{tasks,wall_s,steal_count} telemetry as JSON.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~man
+       ~doc:
+         "Simulate the benchmark suite across worker domains (bit-exact \
+          for every -j)")
+    Term.(const run $ labels_arg $ jobs_arg $ metrics_arg)
 
 let run_cmd =
   let file_arg =
@@ -458,7 +609,7 @@ let rate_search_cmd =
       value & opt int 8
       & info [ "pes" ] ~docv:"N" ~doc:"Processor budget to fill.")
   in
-  let run app width height frames machine policy pes greedy =
+  let run app width height frames machine policy pes greedy jobs =
     handle_errors @@ fun () ->
     let frame = Size.v width height in
     let machine = Bp_machine.Machine.by_name machine in
@@ -468,7 +619,9 @@ let rate_search_cmd =
     in
     ignore (policy_of policy);
     let r =
-      Bp_compiler.Rate_search.search ~machine ~max_pes:pes ~greedy build
+      Bp_compiler.Sweep.with_pool ~domains:jobs @@ fun pool ->
+      Bp_compiler.Rate_search.search ~pool ~machine ~max_pes:pes ~greedy
+        build
     in
     List.iter
       (fun (p : Bp_compiler.Rate_search.probe) ->
@@ -487,10 +640,11 @@ let rate_search_cmd =
     (Cmd.info "rate-search"
        ~doc:
          "Find the highest sustainable input rate for a processor budget \
-          (the StreamIt-style inverse query)")
+          (the StreamIt-style inverse query); -j N shards the probe \
+          compilations with identical recorded probes")
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ frames_arg $ machine_arg
-      $ policy_arg $ pes_arg $ greedy_arg)
+      $ policy_arg $ pes_arg $ greedy_arg $ jobs_arg)
 
 let report_cmd =
   let figs =
@@ -580,4 +734,15 @@ let report_cmd =
 let () =
   let doc = "block-parallel compiler, simulator and experiment driver" in
   let info = Cmd.info "bpc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; compile_cmd; simulate_cmd; run_cmd; rate_search_cmd; report_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd;
+            compile_cmd;
+            simulate_cmd;
+            sweep_cmd;
+            run_cmd;
+            rate_search_cmd;
+            report_cmd;
+          ]))

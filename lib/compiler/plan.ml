@@ -50,9 +50,9 @@ let processors_needed t ~policy =
 
 let errors t = Diag.errors t.diagnostics
 
-let run_plan ?max_time_s ?max_events ?pool ?(with_placement = false)
-    ?(hop_cycles_per_word = 0.5) ?observer ?channel_observer ?state_observer
-    ~policy t () =
+let run_plan ?max_time_s ?max_events ?pool ?chunk_pool
+    ?(with_placement = false) ?(hop_cycles_per_word = 0.5) ?observer
+    ?channel_observer ?state_observer ~policy t () =
   let m = mapped t ~policy in
   let placement =
     if with_placement then
@@ -63,7 +63,7 @@ let run_plan ?max_time_s ?max_events ?pool ?(with_placement = false)
         }
     else None
   in
-  Sim.run ?max_time_s ?max_events ?pool ?placement ?observer
+  Sim.run ?max_time_s ?max_events ?pool ?chunk_pool ?placement ?observer
     ?channel_observer ?state_observer ~graph:t.graph ~mapping:m.mapping
     ~machine:t.machine ()
 

@@ -75,6 +75,7 @@ val run_plan :
   ?max_time_s:float ->
   ?max_events:int ->
   ?pool:bool ->
+  ?chunk_pool:Bp_image.Pool.t ->
   ?with_placement:bool ->
   ?hop_cycles_per_word:float ->
   ?observer:
@@ -110,7 +111,8 @@ val run_plan :
     argument that placement does not affect throughput) additionally
     applies the plan's annealed placement as a NoC delay model with
     [hop_cycles_per_word] (default 0.5) extra write cycles per hop. All
-    other options pass through to {!Bp_sim.Sim.run} unchanged. *)
+    other options — including the [chunk_pool] lending path of
+    docs/PARALLELISM.md — pass through to {!Bp_sim.Sim.run} unchanged. *)
 
 (** {1 Rendering} *)
 

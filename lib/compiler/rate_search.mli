@@ -29,6 +29,7 @@ val search :
   ?hi_hz:float ->
   ?iterations:int ->
   ?greedy:bool ->
+  ?pool:Sweep.pool ->
   machine:Bp_machine.Machine.t ->
   max_pes:int ->
   (rate_hz:float -> Bp_graph.Graph.t) ->
@@ -38,4 +39,15 @@ val search :
     A probe fits when compilation succeeds, the static check passes, and
     the mapping needs at most [max_pes] processors. Compilation failures
     ({!Bp_util.Err.Not_schedulable}, {!Bp_util.Err.Resource_exhausted}) are
-    treated as non-fitting probes, not errors. *)
+    treated as non-fitting probes, not errors.
+
+    [pool] shards probe compilations across a {!Sweep} domain pool
+    ([bpc rate-search -j N]) by {e speculative bisection}: each round
+    batch-evaluates the breadth-first frontier of midpoints the search
+    could visit next (up to one per domain) and memoizes them by exact
+    rate, then the strictly sequential bisection replays over the memo.
+    Speculation changes what is computed, never what is recorded:
+    [probes] and the best rate are bit-identical to the serial search
+    for every [-j] (docs/PARALLELISM.md §Determinism). The builder runs
+    on worker domains, so it must build a fresh, task-local graph —
+    which the rebuild-per-probe rule above already requires. *)

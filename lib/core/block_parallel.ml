@@ -62,6 +62,7 @@ module Pass = Bp_compiler.Pass
 module Plan = Bp_compiler.Plan
 module Pipeline = Bp_compiler.Pipeline
 module Rate_search = Bp_compiler.Rate_search
+module Sweep = Bp_compiler.Sweep
 
 (** {1 Execution} *)
 
@@ -117,6 +118,7 @@ module Lang = Bp_lang.Lang
 module Err = Bp_util.Err
 module Diag = Bp_util.Diag
 module Clock = Bp_util.Clock
+module Domain_pool = Bp_util.Domain_pool
 module Id = Bp_util.Id
 module Stats = Bp_util.Stats
 module Prng = Bp_util.Prng

@@ -18,7 +18,11 @@
     pooled execution is bit-identical to an allocation-naive one. *)
 
 type t
-(** A pool. Not thread-safe; the simulator is single-threaded. *)
+(** A pool. Not domain-safe: one owner domain at a time. A simulation
+    run touches its pool from a single domain, and sharded sweeps give
+    every worker domain its own pool instance, created on the worker
+    and never lent across domains (the ownership rule is normative in
+    docs/PARALLELISM.md §Pool ownership). *)
 
 val create : unit -> t
 (** An empty pool with zeroed counters. *)

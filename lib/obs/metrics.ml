@@ -175,6 +175,12 @@ let record_pool t ?(prefix = "") ~hits ~misses ~releases ~live () =
     (n "pool.hit_rate")
     (if total = 0 then 0. else float_of_int hits /. float_of_int total)
 
+let record_domain t ?(prefix = "") ~domain ~tasks ~wall_s ~steals () =
+  let n s = Printf.sprintf "%ssim.domain.%d.%s" prefix domain s in
+  incr t ~by:tasks (n "tasks");
+  incr t ~by:steals (n "steal_count");
+  set t (n "wall_s") wall_s
+
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
 

@@ -110,6 +110,22 @@ val record_pool :
     [pool.hits], [pool.misses], [pool.releases]; gauges [pool.live] and
     [pool.hit_rate]. *)
 
+val record_domain :
+  t ->
+  ?prefix:string ->
+  domain:int ->
+  tasks:int ->
+  wall_s:float ->
+  steals:int ->
+  unit ->
+  unit
+(** Record one worker domain's sweep telemetry (see
+    docs/PARALLELISM.md §Observability; the numbers come from
+    [Sweep.report]): counters [sim.domain.<i>.tasks] and
+    [sim.domain.<i>.steal_count], gauge [sim.domain.<i>.wall_s].
+    [prefix] is prepended verbatim to every name. Call once per domain
+    after a sweep. *)
+
 val names : t -> string list
 (** All registered names, sorted — the iteration order of {!to_json} and
     {!pp}, so output is deterministic. *)

@@ -154,8 +154,8 @@ let find_port what (rt : node_rt) (a : (string * 'a) array) port =
 (* ---- main engine ------------------------------------------------------ *)
 
 let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
-    ?placement ?observer ?channel_observer ?state_observer ~graph:g ~mapping
-    ~machine () =
+    ?chunk_pool ?placement ?observer ?channel_observer ?state_observer
+    ~graph:g ~mapping ~machine () =
   Graph.validate g;
   let pe = machine.Machine.pe in
   (* Current simulated time, in a one-slot float array so stores stay
@@ -201,8 +201,18 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
      and does not push onward comes back here, so steady state recycles a
      fixed working set instead of allocating. [~pool:false] falls back to
      the allocation-naive plane (releases are dropped, acquires allocate)
-     for A/B measurement — results are bit-identical either way. *)
-  let chunk_pool = if pool then Some (Pool.create ()) else None in
+     for A/B measurement — results are bit-identical either way.
+     [?chunk_pool] lends an existing pool instead — the per-domain reuse
+     path of docs/PARALLELISM.md: a sweep worker keeps its free lists
+     warm across runs, and this run's [result.pool] reports the deltas
+     it contributed. Acquired buffers are zeroed in all three modes, so
+     the simulated outcome never depends on the choice. *)
+  let pool_before = Option.map Pool.stats chunk_pool in
+  let chunk_pool =
+    match chunk_pool with
+    | Some _ as lent -> lent
+    | None -> if pool then Some (Pool.create ()) else None
+  in
   let acquire_chunk, release_chunk =
     match chunk_pool with
     | Some p -> ((fun s -> Pool.acquire p s), fun img -> Pool.release p img)
@@ -830,7 +840,19 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
     leftover_items;
     events_processed = !processed;
     timed_out = !timed_out;
-    pool = Option.map Pool.stats chunk_pool;
+    pool =
+      (match (Option.map Pool.stats chunk_pool, pool_before) with
+      | Some s, Some b ->
+        (* Lent pool: report only this run's contribution. *)
+        Some
+          {
+            Pool.hits = s.Pool.hits - b.Pool.hits;
+            misses = s.Pool.misses - b.Pool.misses;
+            releases = s.Pool.releases - b.Pool.releases;
+            live = s.Pool.live - b.Pool.live;
+          }
+      | s, None -> s
+      | None, Some _ -> assert false);
   }
 
 let first_output_latency_s r =

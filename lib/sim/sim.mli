@@ -141,6 +141,7 @@ val run :
   ?max_time_s:float ->
   ?max_events:int ->
   ?pool:bool ->
+  ?chunk_pool:Bp_image.Pool.t ->
   ?placement:placement_model ->
   ?observer:
     (time_s:float ->
@@ -176,7 +177,16 @@ val run :
     output chunks and release consumed inputs, so steady state recycles a
     fixed working set instead of allocating per firing. [~pool:false] is
     the allocation-naive escape hatch (`bpc simulate --no-pool`); results
-    are bit-identical either way, only GC behavior differs. [observer] is invoked for every on-chip kernel
+    are bit-identical either way, only GC behavior differs. [chunk_pool]
+    lends an existing pool instead of creating one (it overrides [pool]):
+    the per-domain reuse path of docs/PARALLELISM.md, where a sweep
+    worker owns one pool and threads it through every run it executes,
+    keeping free lists warm across runs. The lender keeps ownership;
+    [result.pool] then reports this run's {e deltas} (its hit/miss/
+    release contribution), and simulated outcomes remain bit-identical
+    in all three modes — acquired buffers are always all-zero. A pool
+    must never be lent to two concurrently running simulations
+    ({!Bp_image.Pool} is not domain-safe; one owner domain at a time). [observer] is invoked for every on-chip kernel
     firing with its start time, processor, and service time — the hook the
     {!Trace} module records through. [channel_observer] is invoked on every
     channel push/pop/full-guard event with the acting node, its processor

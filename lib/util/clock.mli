@@ -9,7 +9,12 @@
     {!now_s} readings are never negative (a backward step reads as a
     zero-length interval, a forward step passes through unchanged).
 
-    All compile-pass timings ({!Bp_compiler.Pass}) read this clock. *)
+    The high-water mark is atomic, so the guarantee is process-wide and
+    holds across {!Domain_pool} workers: readings taken on different
+    domains never order backwards either.
+
+    All compile-pass timings ({!Bp_compiler.Pass}) and all
+    {!Domain_pool} task timings read this clock. *)
 
 val now_s : unit -> float
 (** The current time in seconds. Non-decreasing across calls within the

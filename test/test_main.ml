@@ -18,6 +18,7 @@ let () =
       ("coverage", Test_coverage.suite);
       ("differential", Test_differential.suite);
       ("sweeps", Test_sweeps.suite);
+      ("domains", Test_domains.suite);
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
