@@ -2,12 +2,14 @@
 
    Times full simulation runs (compile excluded) of the image-pipeline
    and histogram applications under both mappings, on the event-driven
-   engine (pooled and unpooled data plane) and the preserved polling
+   engine (pooled and unpooled data plane), the quasi-static plan-driven
+   entry (schema v4's [static] axis: [Plan.run_plan] with the schedule
+   pass's firing tables arming wake elision), and the preserved polling
    reference, plus the Figure 13 suite sweep sharded across 1/2/4/8
    worker domains (the scaling axis of docs/PARALLELISM.md), and writes
-   the numbers to BENCH_SIM.json (schema bench-sim/v3) so throughput,
-   GC pressure, *and* domain scaling are tracked across PRs.
-   docs/PERFORMANCE.md explains how to read the output.
+   the numbers to BENCH_SIM.json (schema bench-sim/v4) so throughput,
+   GC pressure, static coverage, *and* domain scaling are tracked across
+   PRs. docs/PERFORMANCE.md explains how to read the output.
 
    Run with:            dune exec bench/sim_bench.exe
    Fewer repetitions:   BENCH_SIM_REPEATS=1 dune exec bench/sim_bench.exe
@@ -18,12 +20,21 @@
    The scaling gate (suite sweep at -j 2 must finish in at most 0.9 of
    the -j 1 wall time) arms itself only when the host can actually run
    two domains in parallel (Domain.recommended_domain_count >= 2, or
-   BENCH_SIM_FORCE_SCALING=1) — on a single-core host the axis is still
-   measured and recorded, but scaling is not asserted.
+   BENCH_SIM_FORCE_SCALING=1) — unchanged in v4, and worth restating:
+   on a single-core host the axis is still measured and recorded, but
+   scaling is not asserted, so a v4 file from a one-core runner carries
+   domain rows without any speedup claim behind them.
+
+   The static gate (v4): on fixtures marked rate-static (every on-chip
+   kernel statically scheduled, no desyncs possible) the quasi-static
+   rows must not lose more than BENCH_SIM_TOLERANCE of the event-driven
+   rows' events/s — elision is free to win and forbidden to cost. The
+   two runs' results are asserted bit-identical (event counts included)
+   before any rate is compared.
 
    Regression gate (exits non-zero when any fixture×mapping loses more
    than BENCH_SIM_TOLERANCE — default 0.4 — of its baseline events/s;
-   works against v1, v2, and v3 files):
+   works against v1, v2, v3, and v4 files):
 
      dune exec bench/sim_bench.exe -- --against BENCH_SIM.json *)
 
@@ -33,6 +44,9 @@ type fixture = {
   name : string;
   machine : Machine.t;
   n_frames : int;
+  rate_static : bool;
+      (* Every on-chip kernel lands in a static region (no reactive
+         merges, no user tokens), so the static gate below is armed. *)
   build : unit -> App.instance;
 }
 
@@ -42,6 +56,7 @@ let fixtures =
       name = "image-pipeline-24x18";
       machine = Machine.default;
       n_frames = 2;
+      rate_static = true;
       build =
         (fun () ->
           Apps.Image_pipeline.v ~frame:(Size.v 24 18) ~rate:(Rate.hz 30.)
@@ -51,6 +66,7 @@ let fixtures =
       name = "image-pipeline-48x36";
       machine = Machine.default;
       n_frames = 2;
+      rate_static = true;
       build =
         (fun () ->
           Apps.Image_pipeline.v ~frame:(Size.v 48 36) ~rate:(Rate.hz 20.)
@@ -60,6 +76,9 @@ let fixtures =
       name = "histogram-24x18";
       machine = Machine.default;
       n_frames = 2;
+      (* The histogram's configureBins/count pair is a reactive merge,
+         excluded from static regions by the schedule pass. *)
+      rate_static = false;
       build =
         (fun () ->
           Apps.Histogram_app.v ~frame:(Size.v 24 18) ~rate:(Rate.hz 40.)
@@ -114,6 +133,41 @@ let time_engine fx ~greedy ~engine =
 let total_fires (r : Sim.result) =
   List.fold_left (fun acc (_, ns) -> acc + ns.Sim.node_fires) 0 r.Sim.node_stats
 
+let tolerance () =
+  match Sys.getenv_opt "BENCH_SIM_TOLERANCE" with
+  | Some s -> (try max 0.01 (float_of_string s) with _ -> 0.4)
+  | None -> 0.4
+
+(* The quasi-static axis times the plan-driven entry — the same engine
+   the dynamic rows run, plus the schedule pass's firing tables arming
+   wake elision (what a bare [bpc simulate] executes). Events/s keeps
+   the dynamic rows' denominator: elided wakes count as processed (each
+   is an exact stand-in for one eager-engine event), so the two axes
+   are directly comparable and their results bit-identical. *)
+let time_plan fx ~greedy ~static =
+  let policy = if greedy then Plan.Greedy else Plan.One_to_one in
+  let prepare () =
+    let inst = fx.build () in
+    Pipeline.compile ~machine:fx.machine inst.App.graph
+  in
+  List.iter
+    (fun plan -> ignore (Plan.run_plan ~static ~policy plan ()))
+    (List.init warmup (fun _ -> prepare ()));
+  let prepared = List.init repeats (fun _ -> prepare ()) in
+  let gc0 = Metrics.gc_snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let last =
+    List.fold_left
+      (fun _ plan -> Some (Plan.run_plan ~static ~policy plan ()))
+      None prepared
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let gc1 = Metrics.gc_snapshot () in
+  let minor_words = gc1.Metrics.gc_minor_words -. gc0.Metrics.gc_minor_words in
+  match last with
+  | Some (r : Sim.result) -> (wall, minor_words, r)
+  | None -> assert false
+
 let run_fixture fx ~greedy =
   let wall, minor_w, alloc_w, r =
     time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
@@ -127,12 +181,20 @@ let run_fixture fx ~greedy =
     time_engine fx ~greedy ~engine:(fun ~graph ~mapping ~machine () ->
         Sim_reference.run ~graph ~mapping ~machine ())
   in
+  let static_wall, static_minor_w, static_r =
+    time_plan fx ~greedy ~static:true
+  in
   if r.Sim.leftover_items <> 0
      || nopool_r.Sim.leftover_items <> 0
      || ref_r.Sim.leftover_items <> 0
+     || static_r.Sim.leftover_items <> 0
   then failwith (fx.name ^ ": benchmark fixture did not drain");
   if nopool_r.Sim.events_processed <> r.Sim.events_processed then
     failwith (fx.name ^ ": pooled and unpooled runs diverged");
+  if static_r.Sim.events_processed <> r.Sim.events_processed then
+    failwith (fx.name ^ ": static and dynamic event counts diverged");
+  if static_r.Sim.static_fallback_events <> 0 then
+    failwith (fx.name ^ ": quasi-static run desynced from its tables");
   let per_run = wall /. float_of_int repeats in
   let rate denom = float_of_int (denom * repeats) /. wall in
   let total_events = float_of_int (r.Sim.events_processed * repeats) in
@@ -155,6 +217,11 @@ let run_fixture fx ~greedy =
      in for the committed v1 baseline, whose schema predates GC fields. *)
   let minor_reduction_vs_reference =
     if minor_w <= 0. then Float.infinity else ref_minor_w /. minor_w
+  in
+  let static_coverage =
+    let fires = total_fires static_r in
+    if fires = 0 then 0.
+    else float_of_int static_r.Sim.static_fired /. float_of_int fires
   in
   let fields =
     [
@@ -191,6 +258,16 @@ let run_fixture fx ~greedy =
       ( "minor_words_reduction_vs_reference",
         Obs_json.float minor_reduction_vs_reference );
       ("speedup_vs_reference", Obs_json.float (ref_wall /. wall));
+      ("rate_static", Obs_json.Bool fx.rate_static);
+      ( "static_wall_s_per_run",
+        Obs_json.float (static_wall /. float_of_int repeats) );
+      ("static_events_per_s", Obs_json.float (total_events /. static_wall));
+      ( "static_minor_words_per_event",
+        Obs_json.float (per_event static_minor_w) );
+      ("static_regions", Obs_json.Int static_r.Sim.static_regions);
+      ("static_fired", Obs_json.Int static_r.Sim.static_fired);
+      ("static_elided_events", Obs_json.Int static_r.Sim.static_elided_events);
+      ("static_coverage", Obs_json.float static_coverage);
     ]
   in
   Printf.printf
@@ -204,6 +281,36 @@ let run_fixture fx ~greedy =
     (per_event minor_w) minor_reduction minor_reduction_vs_reference
     (100. *. pool_hit_rate)
     (ref_wall /. wall);
+  Printf.printf
+    "%-24s %-10s %8.2f ms/run  %10.0f events/s  quasi-static: %d region(s), \
+     %.0f%% coverage, %d elided%s\n\
+     %!"
+    "  quasi-static"
+    (if greedy then "greedy" else "one-to-one")
+    (static_wall /. float_of_int repeats *. 1e3)
+    (total_events /. static_wall)
+    static_r.Sim.static_regions
+    (100. *. static_coverage)
+    static_r.Sim.static_elided_events
+    (if fx.rate_static then "" else "  (not rate-static; gate off)");
+  (* The static gate: on a rate-static fixture the quasi-static rows may
+     not lose more than the shared tolerance of the event-driven rows'
+     events/s. Numerators and denominators are identical by the
+     bit-exactness asserts above, so this is purely a wall-time bound. *)
+  if fx.rate_static then begin
+    let tol = tolerance () in
+    let dyn_eps = rate r.Sim.events_processed in
+    let static_eps = total_events /. static_wall in
+    if static_eps < dyn_eps *. (1. -. tol) then begin
+      Printf.printf
+        "STATIC REGRESSION: %s %s quasi-static %.0f events/s < (1 - %.2f) x \
+         event-driven %.0f events/s\n"
+        fx.name
+        (if greedy then "greedy" else "one-to-one")
+        static_eps tol dyn_eps;
+      exit 1
+    end
+  end;
   Obs_json.Obj fields
 
 (* ---- the domain-scaling axis ------------------------------------------ *)
@@ -343,11 +450,7 @@ let baseline_rows path =
    the gate exists to catch order-of-magnitude regressions, while fine
    drift is read off the committed BENCH_SIM.json ratios. *)
 let check_against ~path current_rows =
-  let tolerance =
-    match Sys.getenv_opt "BENCH_SIM_TOLERANCE" with
-    | Some s -> (try max 0.01 (float_of_string s) with _ -> 0.4)
-    | None -> 0.4
-  in
+  let tolerance = tolerance () in
   let failures = ref 0 in
   List.iter
     (fun baseline_row ->
@@ -406,7 +509,7 @@ let () =
     let out =
       Obs_json.Obj
         ([
-           ("schema", Obs_json.Str "bench-sim/v3");
+           ("schema", Obs_json.Str "bench-sim/v4");
            ("repeats", Obs_json.Int repeats);
            ("warmup", Obs_json.Int warmup);
          ]

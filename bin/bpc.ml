@@ -153,7 +153,9 @@ let dump_after_arg =
           "Print the graph (nodes, roles, channel counts) as it stands \
            after the named compile pass — one of validate, analyze-pre, \
            align, buffering, parallelize, analyze-post, schedulability, \
-           map, place.")
+           map, place, schedule. For $(b,schedule), additionally renders \
+           the quasi-static schedule artifact itself: the static-region \
+           partition and each kernel's prelude/period firing table.")
 
 let explain_arg =
   Arg.(
@@ -197,6 +199,12 @@ let compile_cmd =
       | Some which when not !dumped ->
         Bp_util.Err.unsupportedf "--dump-after: no pass named %S ran" which
       | _ -> ());
+      (* The schedule pass's artifact lives in the plan, not the graph —
+         render it alongside the graph summary the hook printed. *)
+      if dump_after = Some "schedule" then
+        Format.printf "@[<v>%a@]@."
+          (Bp_sim.Static_schedule.pp compiled.Pipeline.graph)
+          compiled.Pipeline.schedule;
       Format.printf "%a" Pipeline.pp_summary compiled;
       if explain then Format.printf "%a@." Plan.pp_explain compiled
       else Format.printf "%a@." Pipeline.pp_passes compiled;
@@ -276,9 +284,20 @@ let no_pool_arg =
            bit-identical; use it to A/B the allocation numbers printed \
            after the run (see docs/PERFORMANCE.md).")
 
+let no_static_arg =
+  Arg.(
+    value & flag
+    & info [ "no-static" ]
+        ~doc:
+          "Force fully event-driven dispatch instead of the plan's \
+           quasi-static schedule (pass 10). Results are bit-identical — \
+           only wall time and the static telemetry change; composes with \
+           $(b,--no-pool) to A/B either axis independently (see \
+           docs/PERFORMANCE.md).")
+
 let simulate_cmd =
   let run app width height rate frames machine policy greedy trace metrics
-      health gantt energy sched no_pool =
+      health gantt energy sched no_pool no_static =
     handle_errors_code @@ fun () ->
     let inst, compiled =
       compile_common app width height rate frames machine policy
@@ -287,34 +306,59 @@ let simulate_cmd =
     if sched then
       Format.printf "@[<v>%a@]@." Bp_transform.Schedulability.pp
         compiled.Pipeline.schedulability;
-    let recorded, trace_observer = Bp_sim.Trace.recorder () in
-    let obs = Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph () in
-    let hlt = Bp_obs.Health.create ~graph:compiled.Pipeline.graph () in
+    (* Observability is strictly pay-when-used: each recorder attaches
+       only when an artifact that needs it was requested, because any
+       attached observer (correctly) drops the run out of quasi-static
+       execution — a bare [bpc simulate] measures the fast path. *)
+    let want_trace = Option.is_some trace in
+    let recorder =
+      if want_trace || gantt then Some (Bp_sim.Trace.recorder ()) else None
+    in
+    let obs =
+      if want_trace || Option.is_some metrics then
+        Some (Bp_obs.Instrument.create ~graph:compiled.Pipeline.graph ())
+      else None
+    in
+    let hlt =
+      if want_trace || Option.is_some health then
+        Some (Bp_obs.Health.create ~graph:compiled.Pipeline.graph ())
+      else None
+    in
     let observer =
-      Bp_obs.Instrument.compose
-        [ trace_observer; Bp_obs.Instrument.observer obs ]
+      match
+        List.filter_map Fun.id
+          [
+            Option.map snd recorder;
+            Option.map Bp_obs.Instrument.observer obs;
+          ]
+      with
+      | [] -> None
+      | fs -> Some (Bp_obs.Instrument.compose fs)
     in
     let gc_before = Bp_obs.Metrics.gc_snapshot () in
     let wall_t0 = Bp_util.Clock.now_s () in
     let result =
-      Plan.run_plan ~pool:(not no_pool) ~observer
-        ~channel_observer:(Bp_obs.Instrument.channel_observer obs)
-        ~state_observer:(Bp_obs.Health.state_observer hlt)
+      Plan.run_plan ~pool:(not no_pool) ~static:(not no_static) ?observer
+        ?channel_observer:(Option.map Bp_obs.Instrument.channel_observer obs)
+        ?state_observer:(Option.map Bp_obs.Health.state_observer hlt)
         ~policy:(policy_of_greedy greedy) compiled ()
     in
     let wall_s = Bp_util.Clock.elapsed_s ~since:wall_t0 in
     let gc_after = Bp_obs.Metrics.gc_snapshot () in
-    Bp_obs.Instrument.finalize obs ~result;
-    Bp_obs.Health.finalize hlt ~result ();
-    let reg = Bp_obs.Instrument.metrics obs in
-    Bp_obs.Instrument.record_compile reg compiled;
-    Bp_obs.Metrics.record_gc reg ~before:gc_before ~after:gc_after ();
-    (match result.Sim.pool with
-    | Some p ->
-      Bp_obs.Metrics.record_pool reg ~hits:p.Bp_image.Pool.hits
-        ~misses:p.Bp_image.Pool.misses ~releases:p.Bp_image.Pool.releases
-        ~live:p.Bp_image.Pool.live ()
-    | None -> ());
+    Option.iter (fun o -> Bp_obs.Instrument.finalize o ~result) obs;
+    Option.iter (fun h -> Bp_obs.Health.finalize h ~result ()) hlt;
+    Option.iter
+      (fun o ->
+        let reg = Bp_obs.Instrument.metrics o in
+        Bp_obs.Instrument.record_compile reg compiled;
+        Bp_obs.Metrics.record_gc reg ~before:gc_before ~after:gc_after ();
+        match result.Sim.pool with
+        | Some p ->
+          Bp_obs.Metrics.record_pool reg ~hits:p.Bp_image.Pool.hits
+            ~misses:p.Bp_image.Pool.misses ~releases:p.Bp_image.Pool.releases
+            ~live:p.Bp_image.Pool.live ()
+        | None -> ())
+      obs;
     Format.printf "%a@." Sim.pp_result result;
     let events_f = float_of_int result.Sim.events_processed in
     let minor_w =
@@ -335,26 +379,35 @@ let simulate_cmd =
                 /. float_of_int acquires)
           p.Bp_image.Pool.hits p.Bp_image.Pool.misses p.Bp_image.Pool.live
       | None -> ", pool off");
-    if gantt then print_string (Bp_sim.Trace.gantt recorded);
-    (match trace with
-    | Some path ->
+    if result.Sim.static_regions > 0 then
+      Format.printf
+        "static: %d regions, %d table-matched firings, %d elided events, \
+         %d fallbacks@."
+        result.Sim.static_regions result.Sim.static_fired
+        result.Sim.static_elided_events result.Sim.static_fallback_events;
+    Option.iter
+      (fun (recorded, _) ->
+        if gantt then print_string (Bp_sim.Trace.gantt recorded))
+      recorder;
+    (match (trace, recorder, obs, hlt) with
+    | Some path, Some (recorded, _), Some obs, Some hlt ->
       Bp_obs.Chrome_trace.write_file ~path
         (Bp_obs.Chrome_trace.of_run
            ~compile_passes:compiled.Pipeline.timings ~instrument:obs
            ~health:hlt ~graph:compiled.Pipeline.graph ~trace:recorded ());
       Format.printf "wrote %s@." path
-    | None -> ());
-    (match metrics with
-    | Some path ->
+    | _ -> ());
+    (match (metrics, obs) with
+    | Some path, Some obs ->
       Bp_obs.Json.write_file ~path
         (Bp_obs.Metrics.to_json (Bp_obs.Instrument.metrics obs));
       Format.printf "wrote %s@." path
-    | None -> ());
-    (match health with
-    | Some path ->
+    | _ -> ());
+    (match (health, hlt) with
+    | Some path, Some hlt ->
       Bp_obs.Json.write_file ~path (Bp_obs.Health.to_json hlt);
       Format.printf "wrote %s@." path
-    | None -> ());
+    | _ -> ());
     if energy then
       Format.printf "%a@." Bp_sim.Energy.pp
         (Bp_sim.Energy.of_result ~machine:compiled.Pipeline.machine result);
@@ -391,8 +444,14 @@ let simulate_cmd =
          structured metrics snapshot, $(b,--health) FILE the real-time \
          health snapshot (all JSON; contracts in docs/OBSERVABILITY.md). \
          $(b,--no-pool) disables the chunk-pool data plane to A/B \
-         allocation behaviour (docs/PERFORMANCE.md) — results are \
-         bit-identical either way.";
+         allocation behaviour and $(b,--no-static) forces event-driven \
+         dispatch instead of the plan's quasi-static schedule \
+         (docs/PERFORMANCE.md) — results are bit-identical under any \
+         combination of the two. Observer-backed artifacts \
+         ($(b,--trace)/$(b,--metrics)/$(b,--health)/$(b,--gantt)) \
+         themselves drop the run to event-driven dispatch, so a bare \
+         $(b,bpc simulate) is also the throughput-measurement \
+         configuration.";
     ]
   in
   Cmd.v
@@ -401,11 +460,12 @@ let simulate_cmd =
          "Compile, simulate, and verify function and throughput (exits \
           non-zero when the run misses the declared rate, deadlocks, or \
           miscomputes); --trace/--metrics/--health write JSON artifacts, \
-          --no-pool A/Bs the data plane")
+          --no-pool A/Bs the data plane, --no-static the dispatch engine")
     Term.(
       const run $ app_arg $ width_arg $ height_arg $ rate_arg $ frames_arg
       $ machine_arg $ policy_arg $ greedy_arg $ trace_arg $ metrics_arg
-      $ health_arg $ gantt_arg $ energy_arg $ sched_arg $ no_pool_arg)
+      $ health_arg $ gantt_arg $ energy_arg $ sched_arg $ no_pool_arg
+      $ no_static_arg)
 
 let jobs_arg =
   Arg.(
@@ -428,7 +488,7 @@ let sweep_cmd =
             "Suite entries to sweep (default: the full Figure 13 suite; \
              see labels in $(b,bpc report fig13)).")
   in
-  let run labels jobs metrics =
+  let run labels jobs metrics no_static =
     handle_errors_code @@ fun () ->
     let entries =
       match labels with
@@ -451,7 +511,7 @@ let sweep_cmd =
     in
     let t0 = Bp_util.Clock.now_s () in
     Sweep.with_pool ~domains:jobs @@ fun pool ->
-    let outcomes = Sweep.simulate_jobs pool tasks in
+    let outcomes = Sweep.simulate_jobs ~static:(not no_static) pool tasks in
     let wall_s = Bp_util.Clock.elapsed_s ~since:t0 in
     (* The merged table is part of the determinism contract: identical
        for every -j (docs/PARALLELISM.md). Telemetry (wall time, domain
@@ -527,8 +587,11 @@ let sweep_cmd =
          mappings (1:1 and greedy), sharded across $(b,-j) worker \
          domains — each worker owns its own chunk pool, and results \
          merge back in submission order, so the table is bit-identical \
-         for every $(b,-j) (the contract is docs/PARALLELISM.md). \
-         $(b,--metrics) FILE exports the per-domain \
+         for every $(b,-j) (the contract is docs/PARALLELISM.md). Each \
+         run executes under its plan's quasi-static schedule; \
+         $(b,--no-static) forces event-driven dispatch with a \
+         bit-identical table (docs/PERFORMANCE.md). $(b,--metrics) FILE \
+         exports the per-domain \
          sim.domain.<i>.{tasks,wall_s,steal_count} telemetry as JSON.";
     ]
   in
@@ -536,8 +599,8 @@ let sweep_cmd =
     (Cmd.info "sweep" ~man
        ~doc:
          "Simulate the benchmark suite across worker domains (bit-exact \
-          for every -j)")
-    Term.(const run $ labels_arg $ jobs_arg $ metrics_arg)
+          for every -j and for --no-static)")
+    Term.(const run $ labels_arg $ jobs_arg $ metrics_arg $ no_static_arg)
 
 let run_cmd =
   let file_arg =

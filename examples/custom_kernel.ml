@@ -73,7 +73,8 @@ let retuning_forward () =
           Some { Behaviour.method_name = "forward"; cycles = 1 }
         end
     in
-    { Behaviour.try_step }
+    let starved (io : Behaviour.io) = not (io.has_input "in") in
+    Behaviour.v ~starved try_step
   in
   Kernel.v ~class_name:"Retune Injector" ~role:Kernel.Replicate
     ~parallelization:Kernel.Serial

@@ -8,6 +8,7 @@ module Multiplex = Bp_transform.Multiplex
 module Schedulability = Bp_transform.Schedulability
 module Dataflow = Bp_analysis.Dataflow
 module Mapping = Bp_sim.Mapping
+module Static_schedule = Bp_sim.Static_schedule
 module Placement = Bp_placement.Placement
 
 type pass_timing = Pass.timing = {
@@ -30,6 +31,7 @@ type t = Plan.t = {
   one_to_one : Plan.mapped;
   greedy : (Plan.mapped, Err.t) result;
   greedy_groups : Graph.node_id list list;
+  schedule : Static_schedule.t;
   diagnostics : Diag.t list;
   timings : Pass.timing list;
 }
@@ -52,6 +54,7 @@ type cstate = {
   mutable st_greedy_groups : Graph.node_id list list;
   mutable st_greedy_mapping : (Mapping.t, Err.t) result option;
   mutable st_greedy_placement : Placement.placement option;
+  mutable st_schedule : Static_schedule.t option;
 }
 
 let analysis_exn st =
@@ -260,6 +263,57 @@ let pass_place =
       | Some (Error _) -> ()
       | None -> Err.graphf "internal: place pass ran before map")
 
+(* The schedule pass is a pure artifact producer: it mutates nothing in
+   the graph, so its invariants are about the artifact itself. *)
+let inv_regions_partition =
+  ( "regions-partition",
+    fun st ->
+      match st.st_schedule with
+      | None -> Err.graphf "internal: schedule invariant ran before the pass"
+      | Some sched ->
+        if not sched.Static_schedule.truncated then begin
+          let seen = Hashtbl.create 32 in
+          List.iter
+            (fun (r : Static_schedule.region) ->
+              List.iter
+                (fun id ->
+                  if Hashtbl.mem seen id then
+                    Err.graphf "node %d appears in two schedule regions" id;
+                  Hashtbl.replace seen id ())
+                r.Static_schedule.r_nodes)
+            sched.Static_schedule.regions;
+          List.iter
+            (fun (n : Graph.node) ->
+              if not (Hashtbl.mem seen n.Graph.id) then
+                Err.graphf "node %s missing from the schedule regions"
+                  n.Graph.name)
+            (Graph.nodes st.st_graph)
+        end )
+
+let pass_schedule =
+  Pass.v "schedule" ~invariants:[ inv_regions_partition ] (fun st ->
+      let mapping =
+        match st.st_one_mapping with
+        | Some m -> m
+        | None -> Err.graphf "internal: schedule pass ran before map"
+      in
+      let sched = Static_schedule.build ~graph:st.st_graph ~mapping () in
+      st.st_schedule <- Some sched;
+      if sched.Static_schedule.truncated then
+        Diag.addf st.st_diags Diag.Warning ~pass:"schedule"
+          "recorder truncated after %d firings; simulation falls back to \
+           fully event-driven dispatch"
+          sched.Static_schedule.recorded_firings
+      else
+        Diag.addf st.st_diags Diag.Info ~pass:"schedule"
+          "%d regions (%d static), %d kernels tabled, coverage bound \
+           %.0f%% of %d recorded firings"
+          (List.length sched.Static_schedule.regions)
+          (Static_schedule.static_regions sched)
+          (List.length sched.Static_schedule.tables)
+          (100. *. Static_schedule.coverage_bound sched st.st_graph)
+          sched.Static_schedule.recorded_firings)
+
 let passes =
   [
     pass_validate;
@@ -271,6 +325,7 @@ let passes =
     pass_schedulability;
     pass_map;
     pass_place;
+    pass_schedule;
   ]
 
 let compile ?align_policy ?diags ?after_pass ~machine g =
@@ -292,6 +347,7 @@ let compile ?align_policy ?diags ?after_pass ~machine g =
       st_greedy_groups = [];
       st_greedy_mapping = None;
       st_greedy_placement = None;
+      st_schedule = None;
     }
   in
   let timings = ref [] in
@@ -329,6 +385,7 @@ let compile ?align_policy ?diags ?after_pass ~machine g =
           }
       | Error e -> Error e);
     greedy_groups = st.st_greedy_groups;
+    schedule = require "a schedule" st.st_schedule;
     diagnostics = Diag.list diags;
     timings = !timings;
   }

@@ -23,7 +23,14 @@
       greedy multiplexed; a greedy overflow of the machine's PE budget is
       recorded, not raised;
     + [place] — annealed mesh placement of each realized mapping
-      (Section IV-D).
+      (Section IV-D);
+    + [schedule] — quasi-static schedule recovery: an untimed functional
+      execution of the elaborated graph records each kernel's firing
+      sequence, segments it at end-of-frame boundaries into a prelude
+      and a steady-state period, and partitions the graph into static
+      regions ({!Bp_sim.Static_schedule}); invariant: the regions
+      partition the node set exactly. The artifact drives the
+      simulator's quasi-static executor and [--dump-after schedule].
 
     Each pass is timed with the monotonic clock and checked by its
     post-invariants at the pass barrier — see {!Pass}. Failures carry
@@ -34,7 +41,7 @@ type pass_timing = Pass.timing = {
   pass : string;
       (** Pass name: ["validate" | "analyze-pre" | "align" | "buffering" |
           "parallelize" | "analyze-post" | "schedulability" | "map" |
-          "place"], in execution order. *)
+          "place" | "schedule"], in execution order. *)
   wall_s : float;  (** Monotonic wall seconds spent in the pass. *)
   nodes_before : int;
   nodes_after : int;
@@ -54,6 +61,7 @@ type t = Plan.t = {
   one_to_one : Plan.mapped;
   greedy : (Plan.mapped, Bp_util.Err.t) result;
   greedy_groups : Bp_graph.Graph.node_id list list;
+  schedule : Bp_sim.Static_schedule.t;
   diagnostics : Bp_util.Diag.t list;
   timings : Pass.timing list;
 }

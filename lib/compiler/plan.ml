@@ -8,6 +8,7 @@ module Schedulability = Bp_transform.Schedulability
 module Dataflow = Bp_analysis.Dataflow
 module Mapping = Bp_sim.Mapping
 module Sim = Bp_sim.Sim
+module Static_schedule = Bp_sim.Static_schedule
 module Placement = Bp_placement.Placement
 
 type policy = One_to_one | Greedy
@@ -31,6 +32,7 @@ type t = {
   one_to_one : mapped;
   greedy : (mapped, Err.t) result;
   greedy_groups : Graph.node_id list list;
+  schedule : Static_schedule.t;
   diagnostics : Diag.t list;
   timings : Pass.timing list;
 }
@@ -51,8 +53,8 @@ let processors_needed t ~policy =
 let errors t = Diag.errors t.diagnostics
 
 let run_plan ?max_time_s ?max_events ?pool ?chunk_pool
-    ?(with_placement = false) ?(hop_cycles_per_word = 0.5) ?observer
-    ?channel_observer ?state_observer ~policy t () =
+    ?(with_placement = false) ?(hop_cycles_per_word = 0.5) ?(static = true)
+    ?observer ?channel_observer ?state_observer ~policy t () =
   let m = mapped t ~policy in
   let placement =
     if with_placement then
@@ -63,9 +65,10 @@ let run_plan ?max_time_s ?max_events ?pool ?chunk_pool
         }
     else None
   in
+  let static_schedule = if static then Some t.schedule else None in
   Sim.run ?max_time_s ?max_events ?pool ?chunk_pool ?placement ?observer
-    ?channel_observer ?state_observer ~graph:t.graph ~mapping:m.mapping
-    ~machine:t.machine ()
+    ?channel_observer ?state_observer ?static_schedule ~graph:t.graph
+    ~mapping:m.mapping ~machine:t.machine ()
 
 (* ---- rendering --------------------------------------------------------- *)
 
@@ -136,4 +139,17 @@ let pp_explain ppf t =
   | Ok m -> pp_mapped ppf ("greedy", m)
   | Error e ->
     Format.fprintf ppf "  %-7s unavailable: %a@," "greedy" Err.pp e);
+  (if t.schedule.Static_schedule.truncated then
+     Format.fprintf ppf
+       "schedule: recorder truncated after %d firings; fully dynamic@,"
+       t.schedule.Static_schedule.recorded_firings
+   else
+     Format.fprintf ppf
+       "schedule: %d regions (%d static), %d kernels tabled, coverage \
+        bound %.0f%% of %d recorded firings@,"
+       (List.length t.schedule.Static_schedule.regions)
+       (Static_schedule.static_regions t.schedule)
+       (List.length t.schedule.Static_schedule.tables)
+       (100. *. Static_schedule.coverage_bound t.schedule t.graph)
+       t.schedule.Static_schedule.recorded_firings);
   Format.fprintf ppf "@]"

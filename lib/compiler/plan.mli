@@ -49,6 +49,11 @@ type t = {
   greedy_groups : Bp_graph.Graph.node_id list list;
       (** The greedy grouping itself, present even on overflow — the
           processor-count query must not depend on the machine bound. *)
+  schedule : Bp_sim.Static_schedule.t;
+      (** The quasi-static schedule (pass 10): per-kernel periodic firing
+          tables and the static-region partition, recovered by the
+          untimed recorder. {!run_plan} hands it to the simulator by
+          default; [--dump-after schedule] renders it. *)
   diagnostics : Bp_util.Diag.t list;  (** In emission order. *)
   timings : Pass.timing list;  (** In execution order. *)
 }
@@ -78,6 +83,7 @@ val run_plan :
   ?chunk_pool:Bp_image.Pool.t ->
   ?with_placement:bool ->
   ?hop_cycles_per_word:float ->
+  ?static:bool ->
   ?observer:
     (time_s:float ->
     proc:int ->
@@ -112,7 +118,13 @@ val run_plan :
     applies the plan's annealed placement as a NoC delay model with
     [hop_cycles_per_word] (default 0.5) extra write cycles per hop. All
     other options — including the [chunk_pool] lending path of
-    docs/PARALLELISM.md — pass through to {!Bp_sim.Sim.run} unchanged. *)
+    docs/PARALLELISM.md — pass through to {!Bp_sim.Sim.run} unchanged.
+    [static] (default [true]) supplies the plan's pass-10 schedule to
+    the simulator, enabling quasi-static execution when no observer is
+    installed; [~static:false] (`bpc simulate --no-static`) forces fully
+    event-driven dispatch. Results are bit-identical either way —
+    [events_processed] included, elided wakes are counted — except for
+    the [static_*] telemetry fields; see {!Bp_sim.Sim.run}. *)
 
 (** {1 Rendering} *)
 

@@ -65,15 +65,14 @@ type outcome = {
   o_wall_s : float;
 }
 
-let simulate_jobs ?max_time_s p jobs =
+let simulate_jobs ?max_time_s ?(static = true) p jobs =
   map p
     (fun ctx job ->
       let t0 = Bp_util.Clock.now_s () in
       let plan = Pipeline.compile ~machine:job.machine (job.build ()) in
       let result =
-        Sim.run ?max_time_s ~chunk_pool:ctx.chunk_pool ~graph:plan.Plan.graph
-          ~mapping:(Plan.mapping plan ~policy:job.policy)
-          ~machine:job.machine ()
+        Plan.run_plan ?max_time_s ~chunk_pool:ctx.chunk_pool ~static
+          ~policy:job.policy plan ()
       in
       {
         o_label = job.label;

@@ -86,7 +86,11 @@ type outcome = {
   o_wall_s : float;  (** Compile+simulate wall seconds — telemetry. *)
 }
 
-val simulate_jobs : ?max_time_s:float -> pool -> job list -> outcome list
+val simulate_jobs :
+  ?max_time_s:float -> ?static:bool -> pool -> job list -> outcome list
 (** Compile each job's graph and simulate it under its policy's mapping
     with the worker's chunk pool lent to the run. Outcomes in job
-    order. *)
+    order, bit-identical for every [-j] AND for [static] on/off —
+    [static] (default [true]) executes each run under the plan's
+    quasi-static schedule ([bpc sweep --no-static] forces event-driven
+    dispatch; only the [static_*] telemetry fields differ). *)

@@ -76,6 +76,7 @@ module Sim = struct
      applications expect to find their execution API. *)
   let run_plan = Bp_compiler.Plan.run_plan
 end
+module Static_schedule = Bp_sim.Static_schedule
 module Sim_reference = Bp_sim.Sim_reference
 module Ring = Bp_sim.Ring
 module Trace = Bp_sim.Trace

@@ -8,6 +8,11 @@ type shelf = { mutable items : Image.t array; mutable n : int }
 
 type t = {
   shelves : (int, shelf) Hashtbl.t;
+  (* Last shelf touched, memoized: simulator data planes acquire and
+     release one extent (the app's chunk size) almost exclusively, so
+     this turns the hashtable probe on the hot path into one compare. *)
+  mutable last_key : int;
+  mutable last_shelf : shelf option;
   mutable hits : int;
   mutable misses : int;
   mutable releases : int;
@@ -24,10 +29,28 @@ let key (s : Size.t) =
     invalid_arg (Printf.sprintf "Pool: image height %d too large" s.h);
   (s.w lsl 20) lor s.h
 
-let create () = { shelves = Hashtbl.create 16; hits = 0; misses = 0; releases = 0 }
+let create () =
+  {
+    shelves = Hashtbl.create 16;
+    last_key = -1;
+    last_shelf = None;
+    hits = 0;
+    misses = 0;
+    releases = 0;
+  }
+
+let find_shelf t k =
+  if t.last_key = k then t.last_shelf
+  else
+    match Hashtbl.find_opt t.shelves k with
+    | Some _ as found ->
+      t.last_key <- k;
+      t.last_shelf <- found;
+      found
+    | None -> None
 
 let acquire t (s : Size.t) =
-  match Hashtbl.find_opt t.shelves (key s) with
+  match find_shelf t (key s) with
   | Some shelf when shelf.n > 0 ->
     let i = shelf.n - 1 in
     let img = shelf.items.(i) in
@@ -45,11 +68,13 @@ let acquire t (s : Size.t) =
 let release t img =
   let k = key (Image.size img) in
   let shelf =
-    match Hashtbl.find_opt t.shelves k with
+    match find_shelf t k with
     | Some s -> s
     | None ->
       let s = { items = Array.make 8 dummy; n = 0 } in
       Hashtbl.add t.shelves k s;
+      t.last_key <- k;
+      t.last_shelf <- Some s;
       s
   in
   if shelf.n = Array.length shelf.items then begin

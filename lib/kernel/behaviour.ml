@@ -7,10 +7,17 @@ type io = {
   space : string -> int;
   acquire : Bp_geometry.Size.t -> Bp_image.Image.t;
   release : Bp_image.Image.t -> unit;
+  has_input : string -> bool;
 }
 
 type fired = { method_name : string; cycles : int }
-type t = { try_step : io -> fired option }
+
+type t = {
+  try_step : io -> fired option;
+  starved : (io -> bool) option;
+}
+
+let v ?starved try_step = { try_step; starved }
 
 let forward_method_name = "<forward-token>"
 
@@ -222,4 +229,21 @@ let iteration_kernel ?(token_forward_cycles = 2) ~methods ~run
             attempt io rest))
   in
   let try_step io = attempt io data_methods in
-  { try_step }
+  (* An iteration kernel fires only off its queue fronts: every firing —
+     data, token dispatch, or token forward — starts from a method whose
+     trigger inputs are all non-empty. So when each data method is missing
+     at least one trigger front, [try_step] provably declines without being
+     called. This is the exact decline oracle the static executor uses to
+     skip attempts and elide processor wake events (docs/PERFORMANCE.md
+     §Quasi-static execution). *)
+  let rec any_method_armed io = function
+    | [] -> false
+    | p :: rest ->
+      let rec all_present = function
+        | [] -> true
+        | input :: more -> io.has_input input && all_present more
+      in
+      all_present p.pm_inputs || any_method_armed io rest
+  in
+  let starved io = not (any_method_armed io data_methods) in
+  { try_step; starved = Some starved }

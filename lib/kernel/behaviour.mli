@@ -40,13 +40,38 @@ type io = {
       (** Return a chunk whose ownership ended here (popped and not
           forwarded, or acquired and discarded) to the engine's pool. The
           allocation-naive reference engine wires this to [ignore]. *)
+  has_input : string -> bool;
+      (** Whether an input queue has a front item — [peek <> None] without
+          the option allocation. The static executor's decline oracles call
+          this on every skipped examination, so it must stay free of
+          per-call allocation. *)
 }
 
 type fired = { method_name : string; cycles : int }
 (** Accounting result of a successful step. Words moved are counted by the
     simulator inside [pop]/[push]. *)
 
-type t = { try_step : io -> fired option }
+type t = {
+  try_step : io -> fired option;
+  starved : (io -> bool) option;
+      (** Exact decline oracle. When present, [starved io = true] MUST
+          imply that [try_step io] would return [None] without mutating
+          anything — from the behaviour's *current* private state and the
+          current channel fronts. It may conservatively return [false].
+          The oracle itself must not mutate state and should not allocate.
+          The simulator's quasi-static executor uses it to (a) skip
+          provably-declining attempts and (b) elide the processor-free
+          wake event after a firing whose processor is provably starved —
+          both exact, never approximations (docs/PERFORMANCE.md). [None]
+          means "no oracle": the kernel is always re-attempted. *)
+}
+
+val v : ?starved:(io -> bool) -> (io -> fired option) -> t
+(** Build a behaviour from a [try_step] and an optional decline oracle.
+    Hand-rolled kernels with private firing state (the buffer's pending
+    window, the padder's margin cursor) implement [starved] natively;
+    {!iteration_kernel} derives one automatically from its method
+    triggers. *)
 
 val forward_method_name : string
 (** The pseudo-method name reported when a step merely forwarded an

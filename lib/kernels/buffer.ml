@@ -57,6 +57,10 @@ type state = {
   mutable wx : int;  (* next output window origin, in window-index space *)
   mutable wy : int;
   mutable frame_idx : int;
+  mutable need_block : int;
+      (* index of the input block containing the pending window's
+         bottom-right pixel — recomputed only when the cursor moves, so
+         the per-attempt availability test is two compares *)
 }
 
 let make_state cfg =
@@ -68,6 +72,7 @@ let make_state cfg =
     wx = 0;
     wy = 0;
     frame_idx = 0;
+    need_block = 0;
   }
 
 let spec ?class_name cfg =
@@ -87,14 +92,17 @@ let spec ?class_name cfg =
     let r = rows cfg in
     (* Is the next pending output window fully arrived? Scan-line arrival
        means availability reduces to: has the block containing the window's
-       bottom-right pixel arrived. *)
-    let window_available () =
-      st.wy < iter.Size.h
-      &&
+       bottom-right pixel arrived. The block index is memoized in
+       [st.need_block] — this test sits inside the static executor's
+       starvation oracle, so it runs on every attempt. *)
+    let update_need_block () =
       let ox = st.wx * sx and oy = st.wy * sy in
       let last_x = ox + win.Size.w - 1 and last_y = oy + win.Size.h - 1 in
-      let need_block = ((last_y / bh) * blocks_per_row) + (last_x / bw) in
-      st.blocks_in > need_block
+      st.need_block <- ((last_y / bh) * blocks_per_row) + (last_x / bw)
+    in
+    update_need_block ();
+    let window_available () =
+      st.wy < iter.Size.h && st.blocks_in > st.need_block
     in
     (* Row copies go through [Array.blit] on the raw scan lines: the
        buffer moves every pixel of every window, and per-pixel accessor
@@ -148,6 +156,7 @@ let spec ?class_name cfg =
             st.wy <- st.wy + 1
           end
           else st.wx <- st.wx + 1;
+          if st.wy < iter.Size.h then update_need_block ();
           fired_emitWindow
         end
       end
@@ -182,6 +191,7 @@ let spec ?class_name cfg =
               st.wy <- 0;
               st.frame_idx <- st.frame_idx + 1;
               Array.fill st.row_ids 0 r (-1);
+              update_need_block ();
               fired_consumeEof
             end
           | Token.User _ ->
@@ -193,7 +203,14 @@ let spec ?class_name cfg =
               fired_forwardUser
             end)
     in
-    { Behaviour.try_step }
+    (* Exact decline oracle: with no pending window, every branch of
+       [try_step] starts from the input front — so an empty input means a
+       guaranteed decline. With a window pending the buffer may self-fire
+       (emit needs only output space), so it must be re-attempted. *)
+    let starved (io : Behaviour.io) =
+      (not (window_available ())) && not (io.has_input "in")
+    in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Buffer ~class_name ~state_words:(storage_words cfg)
     ~parallelization:Spec.Serial

@@ -48,7 +48,11 @@ let init ?(class_name = "Loop Init") ~window ~initial () =
           ignore (io.pop "in");
           fired_dropToken)
     in
-    { Behaviour.try_step }
+    (* Self-driven while initial chunks remain; input-driven after. *)
+    let starved (io : Behaviour.io) =
+      !pending = [] && not (io.has_input "in")
+    in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Replicate ~class_name ~parallelization:Spec.Serial
     ~state_words:(Size.area window.Window.size * max 1 (List.length initial))
@@ -86,7 +90,10 @@ let loop_combine ?(class_name = "Loop Combine") ?(cycles = 4) f =
           Err.graphf "%s: unexpected token on the feedback input" class_name
         | Some (Item.Data _) | None -> None)
     in
-    { Behaviour.try_step }
+    (* Every branch starts from the in0 front, so an empty in0 is a
+       guaranteed decline (in1 alone can never trigger a firing). *)
+    let starved (io : Behaviour.io) = not (io.has_input "in0") in
+    Behaviour.v ~starved try_step
   in
   let methods =
     [

@@ -82,7 +82,8 @@ let inset ?class_name ?(chunk = Window.pixel) ~grid ~left ~right ~top ~bottom
             fired_forwardUser
           end)
     in
-    { Behaviour.try_step }
+    let starved (io : Behaviour.io) = not (io.has_input "in") in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Inset ~class_name ~parallelization:Spec.Serial
     ~inputs:[ Port.input "in" chunk ]
@@ -165,7 +166,13 @@ let pad ?class_name ?(value = 0.) ~frame ~left ~right ~top ~bottom () =
             if advance io then seen_input := false;
             fired_forward)
     in
-    { Behaviour.try_step }
+    (* The padder can self-fire margin pixels of an in-flight frame, so it
+       is only provably starved when the input is empty AND the cursor is
+       not on a margin position of a started frame. *)
+    let starved (io : Behaviour.io) =
+      (not (io.has_input "in")) && not (!seen_input && in_margin ())
+    in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Pad ~class_name ~parallelization:Spec.Serial
     ~inputs:[ Port.input "in" Window.pixel ]

@@ -53,7 +53,8 @@ let spec ?(class_name = "Output") ~window c () =
           end);
         fired_consume
     in
-    { Behaviour.try_step }
+    let starved (io : Behaviour.io) = not (io.has_input "in") in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Sink ~class_name
     ~inputs:[ Port.input "in" window ]

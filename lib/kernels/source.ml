@@ -63,7 +63,9 @@ let spec ?(emit_eol = true) ?(class_name = "Input") ~frame ~frames () =
           fired_emit
         end
     in
-    { Behaviour.try_step }
+    (* Sources are self-driven emitters: the event queue, not a decline
+       oracle, schedules them. *)
+    Behaviour.v try_step
   in
   Spec.v ~role:Spec.Source ~class_name ~emission_burst ~inputs:[]
     ~outputs:[ Port.output "out" Window.pixel ]
@@ -83,7 +85,7 @@ let const ?(class_name = "Const") ~chunk () =
         fired_emit
       end
     in
-    { Behaviour.try_step }
+    Behaviour.v try_step
   in
   Spec.v ~role:Spec.Const_source ~class_name ~inputs:[]
     ~outputs:[ Port.output "out" window ]

@@ -65,7 +65,8 @@ let split ?class_name ?pattern ~window ~ways () =
           fired_broadcast
         end
     in
-    { Behaviour.try_step }
+    let starved (io : Behaviour.io) = not (io.has_input "in") in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Split ~class_name ~parallelization:Spec.Serial
     ~inputs:[ Port.input "in" window ]
@@ -83,6 +84,7 @@ let join ?class_name ?pattern ~window ~ways () =
     pattern;
   let class_name = Option.value class_name ~default:"Join" in
   let ins = in_names ways in
+  let ins_arr = Array.of_list ins in
   let make_behaviour () =
     let branch = ref 0 and taken = ref 0 in
     let advance () =
@@ -93,7 +95,7 @@ let join ?class_name ?pattern ~window ~ways () =
       end
     in
     let try_step (io : Behaviour.io) =
-      let current = List.nth ins !branch in
+      let current = ins_arr.(!branch) in
       match io.peek current with
       | None -> None
       | Some (Item.Data _) ->
@@ -126,7 +128,12 @@ let join ?class_name ?pattern ~window ~ways () =
           fired_mergeToken
         end
     in
-    { Behaviour.try_step }
+    (* Every join branch starts by peeking the current round-robin input,
+       so an empty front there is a guaranteed decline. *)
+    let starved (io : Behaviour.io) =
+      not (io.has_input ins_arr.(!branch))
+    in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Join ~class_name ~parallelization:Spec.Serial
     ~inputs:(List.map (fun i -> Port.input i window) ins)
@@ -197,7 +204,8 @@ let column_split ?class_name ~ranges ~frame () =
           fired_broadcast
         end
     in
-    { Behaviour.try_step }
+    let starved (io : Behaviour.io) = not (io.has_input "in") in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Split ~class_name ~parallelization:Spec.Serial
     ~inputs:[ Port.input "in" Window.pixel ]
@@ -217,7 +225,8 @@ let replicate ?class_name ~window () =
           fired_copy
         end
     in
-    { Behaviour.try_step }
+    let starved (io : Behaviour.io) = not (io.has_input "in") in
+    Behaviour.v ~starved try_step
   in
   Spec.v ~role:Spec.Replicate ~class_name ~parallelization:Spec.Serial
     ~inputs:[ Port.input "in" window ]

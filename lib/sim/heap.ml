@@ -59,7 +59,7 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let push t ~time value =
+let grow_if_full t =
   if t.size = Array.length t.values then begin
     let cap = max 16 (2 * Array.length t.values) in
     let times = Array.make cap 0. in
@@ -71,13 +71,22 @@ let push t ~time value =
     t.times <- times;
     t.seqs <- seqs;
     t.values <- values
-  end;
+  end
+
+let push_seq t ~time ~seq value =
+  grow_if_full t;
   t.times.(t.size) <- time;
-  t.seqs.(t.size) <- t.next_seq;
+  t.seqs.(t.size) <- seq;
   t.values.(t.size) <- value;
-  t.next_seq <- t.next_seq + 1;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+
+let reserve_seq t =
+  let s = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  s
+
+let push t ~time value = push_seq t ~time ~seq:(reserve_seq t) value
 
 let front_time_exn t =
   if t.size = 0 then invalid_arg "Heap.front_time_exn: empty";

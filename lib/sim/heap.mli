@@ -20,7 +20,18 @@ val is_empty : 'a t -> bool
 val size : 'a t -> int
 
 val push : 'a t -> time:float -> 'a -> unit
-(** Insert an event at [time]. *)
+(** Insert an event at [time], stamped with the next sequence number. *)
+
+val reserve_seq : 'a t -> int
+(** Claim the next sequence number without inserting anything. The
+    quasi-static engine reserves an event's tie-breaking rank at the
+    moment the eager engine would have pushed it, so a wake that is
+    elided and later restored by {!push_seq} lands in exactly the heap
+    order the eager push would have had. *)
+
+val push_seq : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert an event at [time] with an explicitly reserved sequence
+    number. [push t ~time v] is [push_seq t ~time ~seq:(reserve_seq t) v]. *)
 
 val front_time_exn : 'a t -> float
 (** Time of the earliest event. Raises [Invalid_argument] when empty. *)

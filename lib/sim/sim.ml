@@ -35,6 +35,10 @@ type result = {
   events_processed : int;
   timed_out : bool;
   pool : Pool.stats option;  (* chunk-pool counters; None when pooling off *)
+  static_regions : int;  (* static regions of the schedule, 0 if none *)
+  static_fired : int;  (* firings that matched their table entry *)
+  static_fallback_events : int;  (* table desyncs observed at runtime *)
+  static_elided_events : int;  (* provably-declining wakes never dispatched *)
 }
 
 type placement_model = {
@@ -101,7 +105,16 @@ and node_rt = {
   mutable cw_hop : int;
   mutable cw_full_out : int;  (* full output channel the attempt saw, or -1 *)
   mutable s_marked : bool;  (* sinks only: queued for draining *)
+  mutable s_first_seen : bool;  (* sinks only: first data chunk recorded *)
   mutable rt_fires : int;
+  (* Quasi-static table cursor: method names of the node's firing table
+     (empty when the schedule has none), the next expected position, and
+     whether the run is still in sync with the table. Telemetry only —
+     see {!Static_schedule}. *)
+  st_prelude : string array;
+  st_period : string array;
+  mutable st_pos : int;
+  mutable st_synced : bool;
   rt_f : float array;  (* 0 = total busy seconds; 1 = current busy end *)
   mutable ks_state : kernel_state;  (* as of the last dispatch examination *)
   mutable fb_pending : bool;  (* sources only: next Data push starts a frame *)
@@ -134,6 +147,12 @@ type proc_rt = {
   kernels : node_rt array;
   mutable ready : bool;  (* marked for the next dispatch sweep *)
   mutable p_fires : int;
+  (* Lazy processor-free wake (quasi-static mode): when every kernel on
+     the processor is provably starved at fire time, the [Proc_free]
+     event is not pushed; its heap sequence number is reserved here so a
+     later restore lands in the exact order the eager push would have. *)
+  mutable pf_scheduled : bool;
+  mutable pf_seq : int;
 }
 
 (* Channel rings hold plain [Item.t]; popped slots are overwritten with
@@ -155,9 +174,35 @@ let find_port what (rt : node_rt) (a : (string * 'a) array) port =
 
 let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
     ?chunk_pool ?placement ?observer ?channel_observer ?state_observer
-    ~graph:g ~mapping ~machine () =
+    ?static_schedule ~graph:g ~mapping ~machine () =
   Graph.validate g;
   let pe = machine.Machine.pe in
+  (* Quasi-static mode: active only when a schedule is supplied AND no
+     observer is installed. The elided examinations are exactly ones that
+     would decline (the [starved] oracle contract), so simulated outcomes
+     are bit-identical — but observers report *examinations* (state
+     intervals, per-attempt block events), which elision would thin out.
+     With any observer present the engine stays fully event-driven. *)
+  let static_mode =
+    Option.is_some static_schedule
+    && (not (Option.is_some observer))
+    && (not (Option.is_some channel_observer))
+    && not (Option.is_some state_observer)
+  in
+  let sched =
+    match static_schedule with
+    | Some s -> s
+    | None -> Static_schedule.empty
+  in
+  let methods_of (tbl : Static_schedule.node_table option) =
+    match tbl with
+    | None -> ([||], [||])
+    | Some tbl ->
+      ( Array.map (fun e -> e.Static_schedule.e_method)
+          tbl.Static_schedule.t_prelude,
+        Array.map (fun e -> e.Static_schedule.e_method)
+          tbl.Static_schedule.t_period )
+  in
   (* Current simulated time, in a one-slot float array so stores stay
      unboxed (a [float ref] boxes on every [:=] without flambda). *)
   let now = [| 0. |] in
@@ -221,9 +266,13 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
   let dummy_io =
     let fail _ = assert false in
     { Behaviour.peek = fail; pop = fail; push = (fun _ _ -> assert false);
-      space = fail; acquire = fail; release = (fun _ -> assert false) }
+      space = fail; acquire = fail; release = (fun _ -> assert false);
+      has_input = fail }
   in
   let node_rts = Hashtbl.create 64 in
+  let static_ids =
+    if static_mode then Static_schedule.static_node_ids sched else []
+  in
   List.iter
     (fun (n : Graph.node) ->
       let in_chans =
@@ -245,6 +294,17 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
                          ~port:p.Bp_kernel.Port.name ())) ))
              n.Graph.spec.Spec.outputs)
       in
+      (* Only static-region members are reconciled against their tables:
+         a node excluded from every static region (user tokens, or an
+         unverified period) has a firing order the schedule deliberately
+         refuses to predict, so holding it to the recorder's order would
+         report spurious desyncs. *)
+      let st_prelude, st_period =
+        methods_of
+          (if static_mode && List.mem n.Graph.id static_ids then
+             Static_schedule.table sched n.Graph.id
+           else None)
+      in
       let rt =
         {
           node = n;
@@ -258,7 +318,12 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
           cw_hop = 0;
           cw_full_out = -1;
           s_marked = false;
+          s_first_seen = false;
           rt_fires = 0;
+          st_prelude;
+          st_period;
+          st_pos = 0;
+          st_synced = Array.length st_period > 0;
           rt_f = [| 0.; 0. |];
           ks_state = Ks_idle;
           fb_pending = true;
@@ -299,6 +364,8 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
             Array.of_list (List.map node_rt (Mapping.nodes_on mapping p));
           ready = true;  (* every processor gets one initial scan *)
           p_fires = 0;
+          pf_scheduled = true;  (* nothing elided yet *)
+          pf_seq = 0;
         })
   in
   let p_busy_until = Array.make nprocs 0. in
@@ -375,16 +442,37 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
          else
            match dst.proc with Some p -> P_proc p | None -> P_none))
     graph_chans;
-  (* Ready-set marking. *)
+  (* Ready-set marking. In quasi-static mode a mark that lands on a busy
+     processor whose end-of-service wake was elided restores that wake at
+     the exact time (and reserved heap rank) the eager engine would have
+     used — the channel change is the proof the post-service examination
+     may no longer decline. [static_elided] counts wakes that stay elided
+     for good: each is exactly one eager-engine event that would have been
+     dispatched and declined, so [!processed + !static_elided] equals the
+     eager engine's event count. *)
+  let static_elided = ref 0 in
+  let wake_proc p =
+    let proc = procs.(p) in
+    if (not proc.pf_scheduled) && p_busy_until.(p) > now.(0) +. 1e-15 then begin
+      proc.pf_scheduled <- true;
+      decr static_elided;
+      Heap.push_seq events ~time:p_busy_until.(p) ~seq:proc.pf_seq
+        proc_free.(p)
+    end
+  in
   let mark_producer (c : chan_rt) =
     match c.producer with
-    | P_proc p -> procs.(p).ready <- true
+    | P_proc p ->
+      procs.(p).ready <- true;
+      if static_mode then wake_proc p
     | P_emit e -> if e.em_blocked then e.em_woken <- true
     | P_sink _ | P_none -> ()
   in
   let mark_consumer (c : chan_rt) =
     match c.consumer with
-    | P_proc p -> procs.(p).ready <- true
+    | P_proc p ->
+      procs.(p).ready <- true;
+      if static_mode then wake_proc p
     | P_sink s -> s.s_marked <- true
     | P_emit _ | P_none -> ()
   in
@@ -409,7 +497,16 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
     | None -> 0.
   in
   let build_io (rt : node_rt) =
-    let is_sink = rt.node.Graph.spec.Spec.role = Spec.Sink in
+    (* Role tests hoisted out of the per-item path: a polymorphic [=] on
+       the role variant per push/pop walks the generic comparator. *)
+    let is_sink =
+      match rt.node.Graph.spec.Spec.role with Spec.Sink -> true | _ -> false
+    in
+    let is_source =
+      match rt.node.Graph.spec.Spec.role with
+      | Spec.Source -> true
+      | _ -> false
+    in
     {
       Behaviour.peek =
         (fun port ->
@@ -424,12 +521,14 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
           rt.cw_read <- rt.cw_read + Item.words item;
           if is_sink then begin
             match item with
-            | Item.Ctl tok when tok.Token.kind = Token.End_of_frame ->
+            | Item.Ctl { Token.kind = Token.End_of_frame; _ } ->
               let times = Hashtbl.find sink_eof_times rt.node.Graph.id in
               times := now.(0) :: !times
             | Item.Data _ ->
-              if not (Hashtbl.mem sink_first_data rt.node.Graph.id) then
+              if not rt.s_first_seen then begin
+                rt.s_first_seen <- true;
                 Hashtbl.replace sink_first_data rt.node.Graph.id now.(0)
+              end
             | _ -> ()
           end;
           if chan_observing then on_chan rt c Ch_pop;
@@ -439,7 +538,7 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
         (fun port item ->
           (* Frame tagging: a timed source's first data push after start or
              after an end-of-frame token is the birth of the next frame. *)
-          if rt.node.Graph.spec.Spec.role = Spec.Source then begin
+          if is_source then begin
             match item with
             | Item.Data _ ->
               if rt.fb_pending then begin
@@ -447,8 +546,9 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
                 births := now.(0) :: !births;
                 rt.fb_pending <- false
               end
-            | Item.Ctl tok ->
-              if tok.Token.kind = Token.End_of_frame then rt.fb_pending <- true
+            | Item.Ctl { Token.kind = Token.End_of_frame; _ } ->
+              rt.fb_pending <- true
+            | Item.Ctl _ -> ()
           end;
           let cs = find_port "output" rt rt.out_chans port in
           for i = 0 to Array.length cs - 1 do
@@ -482,6 +582,9 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
           done);
       acquire = acquire_chunk;
       release = release_chunk;
+      has_input =
+        (fun port ->
+          not (Ring.is_empty (find_port "input" rt rt.in_chans port).ring));
       space =
         (fun port ->
           let cs = find_port "output" rt rt.out_chans port in
@@ -508,6 +611,30 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
      site — the only caller that needs it — from the [cw_*] word
      counters; a sink or emitter firing prices nothing, and a step
      returns the behaviour's interned [fired] with no wrapper. *)
+  (* Table reconciliation (telemetry only): a firing either matches the
+     next entry of the node's table — walking prelude then cycling the
+     period — or desyncs the node for the rest of the run. *)
+  let static_fired = ref 0 in
+  let static_fallback = ref 0 in
+  let reconcile (rt : node_rt) (f : Behaviour.fired) =
+    let plen = Array.length rt.st_prelude in
+    let expected =
+      if rt.st_pos < plen then rt.st_prelude.(rt.st_pos)
+      else rt.st_period.((rt.st_pos - plen) mod Array.length rt.st_period)
+    in
+    (* Method names are interned per kernel module, so the physical test
+       settles almost every comparison. *)
+    if expected == f.Behaviour.method_name
+       || String.equal expected f.Behaviour.method_name
+    then begin
+      rt.st_pos <- rt.st_pos + 1;
+      incr static_fired
+    end
+    else begin
+      rt.st_synced <- false;
+      incr static_fallback
+    end
+  in
   let step_node (rt : node_rt) =
     rt.cw_read <- 0;
     rt.cw_write <- 0;
@@ -515,8 +642,9 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
     rt.cw_full_out <- -1;
     match rt.behaviour.Behaviour.try_step rt.io with
     | None -> None
-    | Some _ as fired ->
+    | Some f as fired ->
       rt.rt_fires <- rt.rt_fires + 1;
+      if rt.st_synced then reconcile rt f;
       fired
   in
   (* Shared progress flag for the dispatch fixpoint, hoisted so the loop
@@ -633,6 +761,35 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
      bit-identical to the reference engine, which still calls through
      [Machine] (inlining it here avoids the boxed float each of those
      cross-module calls returns without flambda). *)
+  (* All kernels of a processor provably starved right now? Then its
+     post-service examination would decline for every one of them, and
+     the [Proc_free] wake can be elided (restored by the first adjacent
+     channel change — see [wake_proc]). The test is specialized per
+     processor at startup: the common one-kernel mapping collapses to a
+     single oracle call, and a processor with any oracle-less kernel is
+     never provably starved. *)
+  let p_all_starved =
+    Array.map
+      (fun proc ->
+        let rec collect i acc =
+          if i < 0 then Some acc
+          else
+            let rt = proc.kernels.(i) in
+            match rt.behaviour.Behaviour.starved with
+            | Some st -> collect (i - 1) ((fun () -> st rt.io) :: acc)
+            | None -> None
+        in
+        match collect (Array.length proc.kernels - 1) [] with
+        | None -> fun () -> false
+        | Some [ f ] -> f
+        | Some fs ->
+          let fs = Array.of_list fs in
+          let n = Array.length fs in
+          fun () ->
+            let rec go i = i >= n || (fs.(i) () && go (i + 1)) in
+            go 0)
+      procs
+  in
   let rec attempt_kernel proc p k i =
     if i >= k then false
     else begin
@@ -683,7 +840,22 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
         p_write.(p) <- p_write.(p) +. write_s;
         proc.p_fires <- proc.p_fires + 1;
         rt.rt_f.(0) <- rt.rt_f.(0) +. service;
-        Heap.push events ~time:p_busy_until.(p) proc_free.(p);
+        if static_mode then begin
+          (* The wake's tie-breaking rank is reserved even when the event
+             is elided, so a restored wake collides with other same-time
+             events in exactly the eager engine's order. *)
+          let seq = Heap.reserve_seq events in
+          if p_all_starved.(p) () then begin
+            proc.pf_scheduled <- false;
+            proc.pf_seq <- seq;
+            incr static_elided
+          end
+          else begin
+            proc.pf_scheduled <- true;
+            Heap.push_seq events ~time:p_busy_until.(p) ~seq proc_free.(p)
+          end
+        end
+        else Heap.push events ~time:p_busy_until.(p) proc_free.(p);
         true
     end
   in
@@ -779,6 +951,14 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
       end
     end
   done;
+  (* Quasi-static quiescence: the last events of an eager run are the
+     trailing [Proc_free]s, whose times set [duration_s]. When those were
+     elided, restore the clock to the latest busy end so the reported
+     duration is bit-identical to the eager engine's. *)
+  if static_mode && not !timed_out then
+    for p = 0 to nprocs - 1 do
+      if p_busy_until.(p) > now.(0) then now.(0) <- p_busy_until.(p)
+    done;
   (* Close out busy intervals whose service end passed without another
      examination, so every kernel's intervals reach a settled state. *)
   if state_observing then
@@ -838,8 +1018,16 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?(pool = true)
           (id, { node_fires = rt.rt_fires; node_busy_s = rt.rt_f.(0) }) :: acc)
         node_rts [];
     leftover_items;
-    events_processed = !processed;
+    (* Elided wakes count as processed: each is one eager-engine decline
+       skipped wholesale, so the total matches event-driven mode exactly
+       and throughput normalizes without a second run. *)
+    events_processed = !processed + !static_elided;
     timed_out = !timed_out;
+    static_regions =
+      (if static_mode then Static_schedule.static_regions sched else 0);
+    static_fired = !static_fired;
+    static_fallback_events = !static_fallback;
+    static_elided_events = !static_elided;
     pool =
       (match (Option.map Pool.stats chunk_pool, pool_before) with
       | Some s, Some b ->

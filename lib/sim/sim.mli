@@ -83,14 +83,34 @@ type result = {
           (with [timed_out = false]) rather than polling until the time
           limit. *)
   events_processed : int;
-      (** Heap events consumed by the run — the denominator of the
-          events-per-second throughput the benchmark tracks. *)
+      (** Heap events the eager engine dispatches for this run — the
+          denominator of the events-per-second throughput the benchmark
+          tracks. Quasi-static execution dispatches fewer (it skips
+          provably-declining wakes wholesale) but counts each elided
+          wake here, so the field is bit-identical across modes; the
+          skipped share is [static_elided_events]. *)
   timed_out : bool;
   pool : Bp_image.Pool.stats option;
       (** Chunk-pool counters for the run's data plane ([None] when the
           run was started with [~pool:false] or came from the
           allocation-naive reference engine). The hit rate is the fraction
           of chunk acquisitions served by recycling. *)
+  static_regions : int;
+      (** Static regions of the schedule the run executed under (0 when
+          no schedule was supplied or quasi-static mode was inactive). *)
+  static_fired : int;
+      (** Firings that matched the next entry of their kernel's firing
+          table — the numerator of static coverage (the denominator is
+          total fires, summed over [node_stats]). *)
+  static_fallback_events : int;
+      (** Runtime table desyncs: firings whose method diverged from the
+          table, dropping their kernel to event-driven accounting for the
+          rest of the run. Always 0 for deterministic-dataflow graphs
+          (asserted across the suite in [test/test_schedule.ml]). *)
+  static_elided_events : int;
+      (** End-of-service wakes elided for good by quasi-static execution:
+          each is exactly one eager-engine event that would have been
+          dispatched and declined. Included in [events_processed]. *)
 }
 
 type placement_model = {
@@ -165,6 +185,7 @@ val run :
     state:kernel_state ->
     chan:int option ->
     unit) ->
+  ?static_schedule:Static_schedule.t ->
   graph:Bp_graph.Graph.t ->
   mapping:Mapping.t ->
   machine:Bp_machine.Machine.t ->
@@ -200,7 +221,23 @@ val run :
     [Bp_obs.Health] folds breakdowns and the bottleneck report from. All
     hooks default to no-ops and must not mutate simulation state; a run's
     [result] is identical with and without them (asserted in
-    [test/test_obs.ml]). *)
+    [test/test_obs.ml]).
+
+    [static_schedule] supplies a quasi-static schedule (the compiler's
+    pass-10 artifact) and, when no observer is installed, switches the
+    engine to quasi-static execution: kernels whose [starved] oracle
+    proves the next attempt would decline are skipped without entering
+    their [try_step], and a processor whose kernels are all provably
+    starved at fire time elides its end-of-service wake event (restored,
+    at the exact time and heap rank of the eager push, by the first
+    adjacent channel change). Both moves remove only examinations that
+    would deterministically decline, so every simulated outcome — floats
+    included, [events_processed] included (elided wakes count as
+    processed) — is bit-identical to the event-driven engine; only the
+    [static_*] telemetry fields differ. With any observer installed the schedule is ignored
+    and the engine stays fully event-driven, because observers report
+    examinations themselves. See docs/PERFORMANCE.md §"Quasi-static
+    execution". *)
 
 val utilization : result -> proc:int -> float
 (** [(run+read+write) / duration] for one processor. *)

@@ -102,6 +102,7 @@ let make_io (rt : node_rt) ~read_words ~write_words ~hop_words ~on_pop
        by the suite-wide differential. *)
     acquire = Bp_image.Image.create;
     release = (fun _ -> ());
+    has_input = (fun port -> not (Queue.is_empty (find_in port).queue));
     space =
       (fun port ->
         match find_outs port with
@@ -460,4 +461,9 @@ let run ?(max_time_s = 300.) ?(max_events = 50_000_000) ?placement
     events_processed = !processed;
     timed_out = !timed_out;
     pool = None;
+    (* The reference engine is always fully event-driven. *)
+    static_regions = 0;
+    static_fired = 0;
+    static_fallback_events = 0;
+    static_elided_events = 0;
   }

@@ -1,0 +1,98 @@
+(** Quasi-static schedules: per-kernel periodic firing tables and the
+    partition of a mapped graph into static regions.
+
+    Built by the compiler's [schedule] pass (pass 10) from an untimed
+    functional execution of the graph — the "recorder" — and carried in
+    the {!Bp_compiler.Plan.t} artifact. The timed engine
+    ({!Sim.run} [?static_schedule]) uses the artifact to {e report} how
+    much of a run matched the predicted firing pattern; its correctness
+    never depends on the tables. What makes quasi-static execution exact
+    is the kernels' [starved] decline oracles
+    ({!Bp_kernel.Behaviour.t.starved}) — see docs/PERFORMANCE.md
+    §"Quasi-static execution".
+
+    Determinism note: per-node firing sequences are a function of input
+    item sequences alone (declined attempts mutate nothing — the Kahn
+    determinism argument in docs/COMPILER.md), so the untimed recorder
+    observes the same per-node sequences as any timed interleaving, and
+    rebuilding the schedule always yields an identical artifact. *)
+
+(** The kind of item a recorded firing moved. *)
+type item_kind = K_data | K_eol | K_eof | K_user
+
+val kind_name : item_kind -> string
+
+type entry = {
+  e_method : string;  (** Method the firing executed. *)
+  e_pops : (int * item_kind) array;
+      (** Channel id and item kind of each pop, in pop order. *)
+  e_pushes : (int * item_kind) array;
+      (** Channel id and item kind of each push (one per fan-out copy). *)
+}
+
+type node_table = {
+  t_node : Bp_graph.Graph.node_id;
+  t_prelude : entry array;
+      (** Firings of the first recorded frame, in order. *)
+  t_period : entry array;
+      (** Firings of the second frame — the steady-state cycle. Empty
+          when fewer than two frames were recorded (no period known). *)
+  t_verified : bool;
+      (** A third recorded frame repeated [t_period] exactly. *)
+  t_user_tokens : bool;
+      (** The node popped or pushed a [User] control token — it is
+          excluded from static regions. *)
+}
+
+type region = {
+  r_id : int;
+  r_nodes : Bp_graph.Graph.node_id list;  (** Ascending. *)
+  r_static : bool;
+}
+
+type t = {
+  tables : (Bp_graph.Graph.node_id * node_table) list;  (** Ascending id. *)
+  regions : region list;
+      (** Every node of the graph appears in exactly one region: static
+          nodes grouped by channel-connectivity, every other node as a
+          singleton dynamic region (invariant asserted in
+          [test/test_schedule.ml]). *)
+  by_proc : (int * Bp_graph.Graph.node_id list) list;
+      (** Static nodes of each processor — the per-PE firing-table
+          projection. PEs with no static kernel are omitted. *)
+  recorded_firings : int;
+  truncated : bool;
+      (** The recorder hit its firing cap; [tables] and [regions] are
+          empty and the simulator falls back to fully-dynamic dispatch. *)
+}
+
+val empty : t
+
+val build :
+  ?max_firings:int ->
+  graph:Bp_graph.Graph.t ->
+  mapping:Mapping.t ->
+  unit ->
+  t
+(** Record an untimed execution of [graph] (default cap 5 million
+    firings; past it the result is [truncated] and otherwise empty),
+    segment each node's firing sequence at its end-of-frame pops into
+    prelude + period, and partition the graph into regions. Sinks are
+    drained raw rather than instantiated — instantiating a sink
+    behaviour would reset the application's shared output collector. *)
+
+val table : t -> Bp_graph.Graph.node_id -> node_table option
+
+val static_node_ids : t -> Bp_graph.Graph.node_id list
+(** Members of all static regions. *)
+
+val static_regions : t -> int
+(** Number of static regions. *)
+
+val coverage_bound : t -> Bp_graph.Graph.t -> float
+(** Fraction of recorded firings belonging to static-region nodes — the
+    upper bound on the runtime static coverage a run can report. *)
+
+val pp : Bp_graph.Graph.t -> Format.formatter -> t -> unit
+(** The [--dump-after schedule] rendering: regions, per-PE projections,
+    and per-table prelude/period summaries. *)

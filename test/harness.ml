@@ -46,6 +46,7 @@ let bench ?(capacity = 1024) (spec : Kernel.t) =
          outside any engine, so releases are dropped. *)
       acquire = Image.create;
       release = ignore;
+      has_input = (fun name -> not (Queue.is_empty (in_q name)));
     }
   in
   let behaviour = spec.Kernel.make_behaviour () in

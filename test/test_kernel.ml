@@ -39,7 +39,7 @@ let test_method_trigger_inputs () =
 
 (* ---- spec validation --------------------------------------------------- *)
 
-let dummy_behaviour () = { Behaviour.try_step = (fun _ -> None) }
+let dummy_behaviour () = Behaviour.v (fun _ -> None)
 
 let test_spec_rejects_duplicate_ports () =
   expect_error (Err.Graph_malformed "") (fun () ->

@@ -12,6 +12,7 @@ let () =
       ("transform", Test_transform.suite);
       ("sim", Test_sim.suite);
       ("plan", Test_plan.suite);
+      ("schedule", Test_schedule.suite);
       ("placement", Test_placement.suite);
       ("lang", Test_lang.suite);
       ("extensions", Test_extensions.suite);

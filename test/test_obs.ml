@@ -566,7 +566,7 @@ let test_pass_timings () =
   Alcotest.(check (list string)) "passes in order"
     [
       "validate"; "analyze-pre"; "align"; "buffering"; "parallelize";
-      "analyze-post"; "schedulability"; "map"; "place";
+      "analyze-post"; "schedulability"; "map"; "place"; "schedule";
     ]
     names;
   List.iter
@@ -882,10 +882,57 @@ let test_health_json_valid () =
       (List.mem_assoc "kernel" fields)
   | _ -> Alcotest.fail "bottleneck not an object"
 
+(* The quasi-static telemetry lands in the registry under stable keys
+   and is deterministic across identical runs: the schedule artifact is
+   a pure function of the program, and the engine's elision/reconcile
+   counters are a pure function of the run. Runs are unobserved (no
+   trace/channel/state observers), so quasi-static execution is active.
+   Only the schedule pass's presence is asserted for its wall-clock
+   gauge — timings themselves are not deterministic. *)
+let test_static_metrics_deterministic () =
+  let run () =
+    let plan = compiled_pipeline () in
+    let result = Sim.run_plan ~policy:Plan.One_to_one plan () in
+    let obs = Instrument.create ~graph:plan.Pipeline.graph () in
+    Instrument.finalize obs ~result;
+    let m = Instrument.metrics obs in
+    Instrument.record_compile m plan;
+    ( ( Option.get (Metrics.gauge m "sim.static.regions"),
+        Metrics.counter m "sim.static.fired",
+        Metrics.counter m "sim.static.fallback_events",
+        Metrics.counter m "sim.static.elided_events" ),
+      Metrics.gauge m "compile.pass.schedule.wall_s",
+      result )
+  in
+  let keys1, sched_wall1, res1 = run () in
+  let keys2, _, res2 = run () in
+  Alcotest.(check bool) "static telemetry keys identical across runs" true
+    (keys1 = keys2);
+  let regions, fired, fallback, elided = keys1 in
+  Alcotest.(check (float 0.)) "regions gauge mirrors the result"
+    (float_of_int res1.Sim.static_regions)
+    regions;
+  Alcotest.(check int) "fired counter mirrors the result"
+    res1.Sim.static_fired fired;
+  Alcotest.(check int) "no fallbacks on the image pipeline" 0 fallback;
+  Alcotest.(check int) "elided counter mirrors the result"
+    res1.Sim.static_elided_events elided;
+  Alcotest.(check bool) "tables actually fired" true (fired > 0);
+  Alcotest.(check bool) "wakes actually elided" true (elided > 0);
+  Alcotest.(check int) "results identical across runs"
+    res1.Sim.events_processed res2.Sim.events_processed;
+  match sched_wall1 with
+  | None -> Alcotest.fail "compile.pass.schedule.wall_s gauge missing"
+  | Some w ->
+    Alcotest.(check bool) "schedule pass wall gauge non-negative" true
+      (w >= 0.)
+
 let suite =
   [
     Alcotest.test_case "metrics: counters, gauges, histograms" `Quick
       test_metrics_basics;
+    Alcotest.test_case "static telemetry: stable keys, deterministic" `Quick
+      test_static_metrics_deterministic;
     Alcotest.test_case "metrics: kind clash fails loudly" `Quick
       test_metrics_kind_clash;
     Alcotest.test_case "metrics: JSON snapshot valid" `Quick

@@ -6,7 +6,7 @@
      mapping policies (the plan's stored mappings ARE the ad-hoc ones);
    - every compile yields a complete plan: both mappings realized (or a
      recorded greedy overflow), a placement per realized mapping, a
-     schedulability verdict, timings for all nine passes in order;
+     schedulability verdict, timings for all ten passes in order;
    - diagnostics are deterministic: two compiles of the same program
      render identical diagnostic lists;
    - a failing pass leaves evidence behind: the error names the pass and
@@ -21,7 +21,7 @@ open Harness
 let pass_names =
   [
     "validate"; "analyze-pre"; "align"; "buffering"; "parallelize";
-    "analyze-post"; "schedulability"; "map"; "place";
+    "analyze-post"; "schedulability"; "map"; "place"; "schedule";
   ]
 
 (* Same signature as the engine-equivalence differential: every
@@ -66,6 +66,11 @@ let test_plan_vs_legacy_differential () =
               ~greedy:(policy = Plan.Greedy)
           in
           let _, plan = compile_suite_entry label in
+          (* run_plan defaults to quasi-static execution, so this also
+             pins the static engine to the fully event-driven legacy path
+             — event counts included, since elided wakes count as
+             processed. test_schedule.ml holds static against dynamic
+             field by field. *)
           let fresh = Sim.run_plan ~policy plan () in
           Alcotest.(check (float 0.))
             (tag ^ ": duration bit-exact")

@@ -1,0 +1,265 @@
+(* The schedule pass (pass 10) and quasi-static execution.
+
+   Pins the tentpole's exactness claims:
+   - [Plan.run_plan] under quasi-static execution is bit-exact against
+     the same plan forced event-driven — every result field compared,
+     floats and event counts included; only the [static_*] telemetry
+     fields may differ;
+   - the suite never desyncs ([static_fallback_events = 0]): per-node
+     firing sequences are a function of input item sequences alone, so
+     the untimed recorder's tables always match the timed run;
+   - schedule regions partition the mapped graph (every node in exactly
+     one region) and recompiling yields an identical artifact;
+   - a hand-built three-kernel chain has the firing table one can derive
+     on paper. *)
+
+open Block_parallel
+
+let compile_suite_entry label =
+  let e = Apps.Suite.by_label label in
+  let inst = e.Apps.Suite.build () in
+  (inst, Pipeline.compile ~machine:e.Apps.Suite.machine inst.App.graph)
+
+(* Everything but the static telemetry, normalized so the records can be
+   compared structurally — the comparison is exact (floats included). *)
+let strip_static (r : Sim.result) =
+  {
+    r with
+    Sim.static_regions = 0;
+    static_fired = 0;
+    static_fallback_events = 0;
+    static_elided_events = 0;
+  }
+
+let test_static_vs_dynamic_differential () =
+  let any_static = ref false in
+  List.iter
+    (fun label ->
+      List.iter
+        (fun policy ->
+          let tag =
+            Printf.sprintf "%s/%s" label (Plan.policy_name policy)
+          in
+          let _, p_dyn = compile_suite_entry label in
+          let dyn = Plan.run_plan ~static:false ~policy p_dyn () in
+          let _, p_st = compile_suite_entry label in
+          let st = Plan.run_plan ~policy p_st () in
+          Alcotest.(check bool)
+            (tag ^ ": every non-telemetry result field bit-identical")
+            true
+            (strip_static dyn = strip_static st);
+          Alcotest.(check int)
+            (tag ^ ": event-driven run carries no static telemetry")
+            0
+            (dyn.Sim.static_regions + dyn.Sim.static_fired
+            + dyn.Sim.static_fallback_events + dyn.Sim.static_elided_events);
+          Alcotest.(check int)
+            (tag ^ ": no table desyncs across the suite")
+            0 st.Sim.static_fallback_events;
+          if st.Sim.static_fired > 0 then any_static := true)
+        [ Plan.One_to_one; Plan.Greedy ])
+    Apps.Suite.labels;
+  Alcotest.(check bool) "suite exercises the firing tables" true !any_static
+
+let test_region_partition_invariant () =
+  List.iter
+    (fun label ->
+      let _, plan = compile_suite_entry label in
+      let sched = plan.Pipeline.schedule in
+      let graph = plan.Pipeline.graph in
+      let ids =
+        List.sort compare
+          (List.map (fun n -> n.Graph.id) (Graph.nodes graph))
+      in
+      let region_members =
+        List.concat_map
+          (fun (r : Static_schedule.region) -> r.Static_schedule.r_nodes)
+          sched.Static_schedule.regions
+      in
+      Alcotest.(check (list int))
+        (label ^ ": regions partition the graph (each node exactly once)")
+        ids
+        (List.sort compare region_members);
+      List.iter
+        (fun (r : Static_schedule.region) ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s: region %d members ascending" label
+               r.Static_schedule.r_id)
+            r.Static_schedule.r_nodes
+            (List.sort compare r.Static_schedule.r_nodes))
+        sched.Static_schedule.regions;
+      let static_members =
+        List.concat_map
+          (fun (r : Static_schedule.region) ->
+            if r.Static_schedule.r_static then r.Static_schedule.r_nodes
+            else [])
+          sched.Static_schedule.regions
+      in
+      Alcotest.(check (list int))
+        (label ^ ": static_node_ids lists exactly the static regions")
+        (List.sort compare static_members)
+        (List.sort compare (Static_schedule.static_node_ids sched));
+      let cov = Static_schedule.coverage_bound sched graph in
+      Alcotest.(check bool)
+        (label ^ ": coverage bound within [0,1]")
+        true
+        (cov >= 0. && cov <= 1.))
+    Apps.Suite.labels
+
+let test_table_determinism () =
+  List.iter
+    (fun label ->
+      let _, a = compile_suite_entry label in
+      let _, b = compile_suite_entry label in
+      Alcotest.(check bool)
+        (label ^ ": recompiling yields an identical schedule artifact")
+        true
+        (a.Pipeline.schedule = b.Pipeline.schedule))
+    Apps.Suite.labels
+
+(* Known answer: src -> forward -> forward -> forward -> sink over a 2x2
+   frame. The source emits pixel, pixel, EOL per row and EOF after the
+   last row, so each forward kernel fires, per frame:
+     run run <forward-token>  (row 0)
+     run run <forward-token>  (row 1)
+     <forward-token>          (EOF)
+   With three recorded frames the second frame is the period and the
+   third verifies it. *)
+let test_known_answer_chain () =
+  let frame = Size.v 2 2 in
+  let frames = Image.Gen.frame_sequence ~seed:7 frame 3 in
+  let g = Graph.create () in
+  let src =
+    Graph.add g
+      ~meta:(Graph.Source_meta { frame; rate = Rate.hz 100. })
+      (Source.spec ~frame ~frames ())
+  in
+  let f1 = Graph.add g (Arith.forward ()) in
+  let f2 = Graph.add g (Arith.forward ()) in
+  let f3 = Graph.add g (Arith.forward ()) in
+  let collector = Sink.collector () in
+  let sink = Graph.add g (Sink.spec ~window:Window.pixel collector ()) in
+  Graph.connect g ~from:(src, "out") ~into:(f1, "in");
+  Graph.connect g ~from:(f1, "out") ~into:(f2, "in");
+  Graph.connect g ~from:(f2, "out") ~into:(f3, "in");
+  Graph.connect g ~from:(f3, "out") ~into:(sink, "in");
+  let plan = Pipeline.compile ~machine:Machine.default g in
+  let sched = plan.Pipeline.schedule in
+  let fwd = Behaviour.forward_method_name in
+  let expected = [ "run"; "run"; fwd; "run"; "run"; fwd; fwd ] in
+  List.iter
+    (fun node ->
+      match Static_schedule.table sched node with
+      | None ->
+        Alcotest.failf "forward node %d has no firing table" node
+      | Some t ->
+        let methods entries =
+          Array.to_list
+            (Array.map
+               (fun (e : Static_schedule.entry) -> e.Static_schedule.e_method)
+               entries)
+        in
+        Alcotest.(check (list string))
+          (Printf.sprintf "node %d prelude methods" node)
+          expected
+          (methods t.Static_schedule.t_prelude);
+        Alcotest.(check (list string))
+          (Printf.sprintf "node %d period methods" node)
+          expected
+          (methods t.Static_schedule.t_period);
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d period verified by the third frame" node)
+          true t.Static_schedule.t_verified;
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d saw no user tokens" node)
+          false t.Static_schedule.t_user_tokens;
+        (* Every data firing moves one data item in, one out; the EOF
+           firing forwards exactly the end-of-frame token. *)
+        let kinds (e : Static_schedule.entry) =
+          ( Array.to_list (Array.map snd e.Static_schedule.e_pops),
+            Array.to_list (Array.map snd e.Static_schedule.e_pushes) )
+        in
+        Array.iter
+          (fun (e : Static_schedule.entry) ->
+            let pops, pushes = kinds e in
+            if String.equal e.Static_schedule.e_method "run" then
+              Alcotest.(check bool)
+                (Printf.sprintf "node %d data firing moves data" node)
+                true
+                (pops = [ Static_schedule.K_data ]
+                && pushes = [ Static_schedule.K_data ]))
+          t.Static_schedule.t_period;
+        let last =
+          t.Static_schedule.t_period.(Array.length t.Static_schedule.t_period
+                                      - 1)
+        in
+        let pops, pushes = kinds last in
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d EOF firing forwards the EOF token" node)
+          true
+          (pops = [ Static_schedule.K_eof ]
+          && pushes = [ Static_schedule.K_eof ]))
+    [ f1; f2; f3 ];
+  (* The chain is one static region; source and sink stay dynamic. *)
+  let static_ids = Static_schedule.static_node_ids sched in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "forward node %d is in a static region" f)
+        true (List.mem f static_ids))
+    [ f1; f2; f3 ];
+  Alcotest.(check bool) "source stays dynamic" false (List.mem src static_ids);
+  Alcotest.(check bool) "sink stays dynamic" false (List.mem sink static_ids);
+  (* And running it quasi-statically matches the table for every firing. *)
+  let st = Plan.run_plan ~policy:Plan.One_to_one plan () in
+  Alcotest.(check int) "chain run never desyncs" 0
+    st.Sim.static_fallback_events;
+  Alcotest.(check bool) "chain run fires from the tables" true
+    (st.Sim.static_fired > 0)
+
+(* The differential must also hold when runs execute under the sweep
+   driver (the sharded path reuses one chunk pool per domain, so the
+   [pool] telemetry legitimately differs between batches and is
+   normalized out along with the static counters). *)
+let test_sweep_static_differential () =
+  let e = Apps.Suite.by_label "1" in
+  let jobs =
+    List.map
+      (fun policy ->
+        {
+          Sweep.label = "1";
+          machine = e.Apps.Suite.machine;
+          policy;
+          build = (fun () -> (e.Apps.Suite.build ()).App.graph);
+        })
+      [ Plan.One_to_one; Plan.Greedy ]
+  in
+  let sig_of (outcomes : Sweep.outcome list) =
+    List.map
+      (fun (o : Sweep.outcome) ->
+        ( o.Sweep.o_label,
+          Plan.policy_name o.Sweep.o_policy,
+          { (strip_static o.Sweep.o_result) with Sim.pool = None } ))
+      outcomes
+  in
+  Sweep.with_pool (fun pool ->
+      let st = sig_of (Sweep.simulate_jobs pool jobs) in
+      let dyn = sig_of (Sweep.simulate_jobs ~static:false pool jobs) in
+      Alcotest.(check bool)
+        "sweep outcomes bit-identical with and without quasi-static \
+         execution"
+        true (st = dyn))
+
+let suite =
+  [
+    Alcotest.test_case "static vs dynamic, whole suite, both policies" `Slow
+      test_static_vs_dynamic_differential;
+    Alcotest.test_case "regions partition every suite graph" `Slow
+      test_region_partition_invariant;
+    Alcotest.test_case "schedule artifact deterministic across compiles"
+      `Slow test_table_determinism;
+    Alcotest.test_case "known-answer firing table for a 3-kernel chain"
+      `Quick test_known_answer_chain;
+    Alcotest.test_case "sweep path bit-identical with static on/off" `Quick
+      test_sweep_static_differential;
+  ]
