@@ -3,13 +3,14 @@
    Times full simulation runs (compile excluded) of the image-pipeline
    and histogram applications under both mappings, on the event-driven
    engine (pooled and unpooled data plane), the quasi-static plan-driven
-   entry (schema v4's [static] axis: [Plan.run_plan] with the schedule
-   pass's firing tables arming wake elision), and the preserved polling
-   reference, plus the Figure 13 suite sweep sharded across 1/2/4/8
-   worker domains (the scaling axis of docs/PARALLELISM.md), and writes
-   the numbers to BENCH_SIM.json (schema bench-sim/v4) so throughput,
-   GC pressure, static coverage, *and* domain scaling are tracked across
-   PRs. docs/PERFORMANCE.md explains how to read the output.
+   entry (the [static] axis: [Plan.run_plan] with the schedule pass's
+   firing tables arming wake elision and slot-indexed batch dispatch),
+   and the preserved polling reference, plus the Figure 13 suite sweep
+   sharded across 1/2/4/8 worker domains (the scaling axis of
+   docs/PARALLELISM.md), and writes the numbers to BENCH_SIM.json
+   (schema bench-sim/v5) so throughput, GC pressure, static coverage,
+   indexed-dispatch share, *and* domain scaling are tracked across PRs.
+   docs/PERFORMANCE.md explains how to read the output.
 
    Run with:            dune exec bench/sim_bench.exe
    Fewer repetitions:   BENCH_SIM_REPEATS=1 dune exec bench/sim_bench.exe
@@ -20,12 +21,14 @@
    The scaling gate (suite sweep at -j 2 must finish in at most 0.9 of
    the -j 1 wall time) arms itself only when the host can actually run
    two domains in parallel (Domain.recommended_domain_count >= 2, or
-   BENCH_SIM_FORCE_SCALING=1) — unchanged in v4, and worth restating:
+   BENCH_SIM_FORCE_SCALING=1) — unchanged in v5, and worth restating:
    on a single-core host the axis is still measured and recorded, but
-   scaling is not asserted, so a v4 file from a one-core runner carries
-   domain rows without any speedup claim behind them.
+   scaling is not asserted; since v5 the disarmed state is also written
+   into the file's provenance fields so a reader of the committed JSON
+   knows the domain rows carry no speedup claim and the sweep should be
+   re-measured on a multi-core host.
 
-   The static gate (v4): on fixtures marked rate-static (every on-chip
+   The static gate (since v4): on fixtures marked rate-static (every on-chip
    kernel statically scheduled, no desyncs possible) the quasi-static
    rows must not lose more than BENCH_SIM_TOLERANCE of the event-driven
    rows' events/s — elision is free to win and forbidden to cost. The
@@ -34,7 +37,7 @@
 
    Regression gate (exits non-zero when any fixture×mapping loses more
    than BENCH_SIM_TOLERANCE — default 0.4 — of its baseline events/s;
-   works against v1, v2, v3, and v4 files):
+   works against v1 through v5 files):
 
      dune exec bench/sim_bench.exe -- --against BENCH_SIM.json *)
 
@@ -223,6 +226,15 @@ let run_fixture fx ~greedy =
     if fires = 0 then 0.
     else float_of_int static_r.Sim.static_fired /. float_of_int fires
   in
+  (* v5: share of static firings that went through the closure-free
+     slot-indexed dispatch path (Behaviour.indexed.fire_indexed) rather
+     than the string-keyed compatibility path. *)
+  let static_indexed_share =
+    if static_r.Sim.static_fired = 0 then 0.
+    else
+      float_of_int static_r.Sim.static_indexed_fired
+      /. float_of_int static_r.Sim.static_fired
+  in
   let fields =
     [
       ("fixture", Obs_json.Str fx.name);
@@ -266,6 +278,8 @@ let run_fixture fx ~greedy =
         Obs_json.float (per_event static_minor_w) );
       ("static_regions", Obs_json.Int static_r.Sim.static_regions);
       ("static_fired", Obs_json.Int static_r.Sim.static_fired);
+      ("static_indexed_fired", Obs_json.Int static_r.Sim.static_indexed_fired);
+      ("static_indexed_share", Obs_json.float static_indexed_share);
       ("static_elided_events", Obs_json.Int static_r.Sim.static_elided_events);
       ("static_coverage", Obs_json.float static_coverage);
     ]
@@ -283,7 +297,7 @@ let run_fixture fx ~greedy =
     (ref_wall /. wall);
   Printf.printf
     "%-24s %-10s %8.2f ms/run  %10.0f events/s  quasi-static: %d region(s), \
-     %.0f%% coverage, %d elided%s\n\
+     %.0f%% coverage, %.0f%% indexed, %d elided%s\n\
      %!"
     "  quasi-static"
     (if greedy then "greedy" else "one-to-one")
@@ -291,6 +305,7 @@ let run_fixture fx ~greedy =
     (total_events /. static_wall)
     static_r.Sim.static_regions
     (100. *. static_coverage)
+    (100. *. static_indexed_share)
     static_r.Sim.static_elided_events
     (if fx.rate_static then "" else "  (not rate-static; gate off)");
   (* The static gate: on a rate-static fixture the quasi-static rows may
@@ -414,16 +429,27 @@ let domain_axis () =
   end
   else
     Printf.printf
-      "scaling gate: skipped (host reports %d core%s; set \
-       BENCH_SIM_FORCE_SCALING=1 to arm)\n"
+      "scaling gate: DISARMED — host reports %d core%s (< 2), so the -j 2 \
+       speedup bound is not asserted; domain rows below are recorded \
+       without a scaling claim. Set BENCH_SIM_FORCE_SCALING=1 to arm \
+       anyway, or re-run on a multi-core host.\n"
       cores
       (if cores = 1 then "" else "s");
   ignore jobs;
   ( rows,
-    [
-      ("cores", Obs_json.Int cores);
+    [ ("cores", Obs_json.Int cores);
       ("scaling_gate_armed", Obs_json.Bool gate_armed);
-    ] )
+    ]
+    @
+    if gate_armed then []
+    else
+      [
+        ( "scaling_todo",
+          Obs_json.Str
+            "gate disarmed: recorded on a host with < 2 usable cores; \
+             re-measure the domain axis on a multi-core host before \
+             reading any speedup from these rows" );
+      ] )
 
 (* ---- regression gate -------------------------------------------------- *)
 
@@ -509,7 +535,7 @@ let () =
     let out =
       Obs_json.Obj
         ([
-           ("schema", Obs_json.Str "bench-sim/v4");
+           ("schema", Obs_json.Str "bench-sim/v5");
            ("repeats", Obs_json.Int repeats);
            ("warmup", Obs_json.Int warmup);
          ]

@@ -381,9 +381,11 @@ let simulate_cmd =
       | None -> ", pool off");
     if result.Sim.static_regions > 0 then
       Format.printf
-        "static: %d regions, %d table-matched firings, %d elided events, \
-         %d fallbacks@."
+        "static: %d regions, %d table-matched firings (%d slot-indexed), \
+         %d dispatched + %d elided events, %d fallbacks@."
         result.Sim.static_regions result.Sim.static_fired
+        result.Sim.static_indexed_fired
+        (result.Sim.events_processed - result.Sim.static_elided_events)
         result.Sim.static_elided_events result.Sim.static_fallback_events;
     Option.iter
       (fun (recorded, _) ->

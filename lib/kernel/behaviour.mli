@@ -51,6 +51,52 @@ type fired = { method_name : string; cycles : int }
 (** Accounting result of a successful step. Words moved are counted by the
     simulator inside [pop]/[push]. *)
 
+type ports = {
+  ix_peek : int -> Item.t;  (** Front of input ordinal [i]. Raises if empty. *)
+  ix_pop : int -> Item.t;  (** Consume the front of input ordinal [i]. *)
+  ix_push : int -> Item.t -> unit;
+      (** Append to output ordinal [j] (all fan-out channels). *)
+  ix_space : int -> int;  (** Free slots on output ordinal [j] (min fan-out). *)
+  ix_has : int -> bool;  (** Input ordinal [i] has a front item. *)
+  ix_acquire : Bp_geometry.Size.t -> Bp_image.Image.t;
+  ix_release : Bp_image.Image.t -> unit;
+}
+(** The slot-indexed twin of {!io}: ring handles preresolved to the
+    kernel's port ordinals (position in the spec's declaration order, as
+    reported by {!Spec.input_ordinal}/{!Spec.output_ordinal}). The engine
+    builds one [ports] per node at setup; a tabled firing dispatched
+    through it performs zero name hashing and allocates no closure. Same
+    ownership and accounting contract as {!io}. *)
+
+type indexed = {
+  op_of : method_name:string -> pops:int array -> pushes:int array -> int;
+      (** Resolve a firing-table entry (method name, pop input ordinals in
+          pop order, push output ordinals in push order) to a behaviour op
+          code, or [-1] when the entry cannot take the indexed path (the
+          engine then falls back to the generic [try_step]). *)
+  space_need : int -> int;
+      (** Free slots the generic path demands on each checked output
+          before firing op — the engine reproduces the check exactly. *)
+  space_outs : int -> int array;
+      (** Output ordinals the generic path space-checks before firing op.
+          May be [[||]] for ops that re-check space themselves inside
+          {!field-fire_indexed}; such ops are never batch-armed. *)
+  fire_indexed : ports -> int -> fired option;
+      (** Execute one firing of op. MUST be mutation-free when returning
+          [None] (the engine falls back to the generic path for that
+          firing). The contract mirroring [try_step]: given that the
+          engine has verified the entry's pop fronts (presence and item
+          kind) and the [space_outs]/[space_need] space condition,
+          [fire_indexed] must fire exactly the firing the generic
+          [try_step] would, or decline with [None]; any private-state
+          precondition the generic path consults must be re-checked
+          here. *)
+}
+(** The closure-free fast path a behaviour may expose for quasi-static
+    execution (docs/PERFORMANCE.md §"Quasi-static execution"). Op codes
+    are private to the behaviour; the engine obtains them through
+    [op_of] when it resolves a node's firing table. *)
+
 type t = {
   try_step : io -> fired option;
   starved : (io -> bool) option;
@@ -64,14 +110,18 @@ type t = {
           wake event after a firing whose processor is provably starved —
           both exact, never approximations (docs/PERFORMANCE.md). [None]
           means "no oracle": the kernel is always re-attempted. *)
+  indexed : indexed option;
+      (** Slot-indexed fast path; [None] keeps every firing on the
+          generic string-keyed path (always correct, merely slower). *)
 }
 
-val v : ?starved:(io -> bool) -> (io -> fired option) -> t
-(** Build a behaviour from a [try_step] and an optional decline oracle.
-    Hand-rolled kernels with private firing state (the buffer's pending
-    window, the padder's margin cursor) implement [starved] natively;
-    {!iteration_kernel} derives one automatically from its method
-    triggers. *)
+val v :
+  ?starved:(io -> bool) -> ?indexed:indexed -> (io -> fired option) -> t
+(** Build a behaviour from a [try_step] and optional decline oracle and
+    indexed fast path. Hand-rolled kernels with private firing state (the
+    buffer's pending window, the padder's margin cursor) implement
+    [starved] natively; {!iteration_kernel} derives one automatically
+    from its method triggers. *)
 
 val forward_method_name : string
 (** The pseudo-method name reported when a step merely forwarded an
@@ -101,10 +151,29 @@ type token_run =
 (** A token method body (e.g. emit the finished histogram on EOF). Same
     ownership contract for returned chunks as {!data_run}. *)
 
+type indexed_run =
+  alloc:alloc ->
+  inputs:Bp_image.Image.t array ->
+  outputs:Bp_image.Image.t array ->
+  unit
+(** A slot-indexed data method body: [inputs] holds the consumed chunks in
+    trigger-declaration order; the body stores at most one produced chunk
+    per declared output into [outputs] (same declaration order), leaving
+    {!no_image} in slots it does not produce. Both arrays are preallocated
+    scratch owned by the wrapper — a body must not retain them. Ownership
+    of chunks is as in {!data_run}: inputs not stored into [outputs] (by
+    physical identity) are released after the body runs. *)
+
+val no_image : Bp_image.Image.t
+(** Sentinel filling {!indexed_run} scratch slots: physical equality with
+    it means "no chunk here". Never pushed, never released. *)
+
 val iteration_kernel :
   ?token_forward_cycles:int ->
   methods:Method_spec.t list ->
-  run:(string -> data_run) ->
+  ?run:(string -> data_run) ->
+  ?port_order:string list * string list ->
+  ?run_indexed:(string -> indexed_run) ->
   ?token_run:(string -> token_run) ->
   unit ->
   t
@@ -113,7 +182,17 @@ val iteration_kernel :
     [On_token] method [m] (defaults to producing nothing).
     [token_forward_cycles] (default 2) is the cost of auto-forwarding an
     unhandled token. State is whatever the [run] closures capture — callers
-    allocate fresh state per behaviour instance. *)
+    allocate fresh state per behaviour instance.
+
+    [run_indexed m] supplies the array-based body for [On_data] method [m]
+    instead of (or in addition to) [run]; it requires [port_order], the
+    kernel's input and output port names in spec declaration order, and is
+    resolved once per method at construction. With it the wrapper both
+    (a) runs the generic path through preallocated scratch arrays — no
+    per-firing assoc lists — and (b) exposes the {!indexed} fast path when
+    the kernel has exactly one data method. At least one of [run] /
+    [run_indexed] must be given; methods lacking a body fail on first
+    firing. *)
 
 val pop_data : io -> string -> Bp_image.Image.t
 (** Helper for custom behaviours: pop and assert a data chunk. *)

@@ -10,17 +10,20 @@ let binary ~class_name ~cycles f () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m ~alloc inputs =
-    let a = List.assoc "in0" inputs and b = List.assoc "in1" inputs in
+  let run_indexed _m ~alloc ~inputs ~outputs =
+    let a = inputs.(0) and b = inputs.(1) in
     let out = alloc (Bp_image.Image.size a) in
     Bp_image.Image.map2_into f a b ~dst:out;
-    [ ("out", out) ]
+    outputs.(0) <- out
   in
   Spec.v ~class_name
     ~inputs:[ Port.input "in0" pixel_port; Port.input "in1" pixel_port ]
     ~outputs:[ Port.output "out" pixel_port ]
     ~methods
-    ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
+    ~make_behaviour:(fun () ->
+      Behaviour.iteration_kernel ~methods
+        ~port_order:([ "in0"; "in1" ], [ "out" ])
+        ~run_indexed ())
     ()
 
 let subtract () = binary ~class_name:"Subtract" ~cycles:Costs.subtract ( -. ) ()
@@ -39,17 +42,19 @@ let unary ~class_name ~cycles f () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m ~alloc inputs =
-    let src = List.assoc "in" inputs in
+  let run_indexed _m ~alloc ~inputs ~outputs =
+    let src = inputs.(0) in
     let out = alloc (Bp_image.Image.size src) in
     Bp_image.Image.map_into f ~src ~dst:out;
-    [ ("out", out) ]
+    outputs.(0) <- out
   in
   Spec.v ~class_name
     ~inputs:[ Port.input "in" pixel_port ]
     ~outputs:[ Port.output "out" pixel_port ]
     ~methods
-    ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
+    ~make_behaviour:(fun () ->
+      Behaviour.iteration_kernel ~methods ~port_order:([ "in" ], [ "out" ])
+        ~run_indexed ())
     ()
 
 let gain k =

@@ -28,8 +28,8 @@ let rec make ?(cycles = Costs.bayer) ~frame ~start ~stride () =
        advances by [stride] and resets each frame — the paper's
        "programmatic" parallelization of a position-dependent kernel. *)
     let fires = ref 0 in
-    let run _m ~alloc inputs =
-      let win = List.assoc "in" inputs in
+    let run_indexed _m ~alloc ~inputs ~outputs =
+      let win = inputs.(0) in
       let idx = start + (!fires * stride) in
       fires := (!fires + 1) mod fires_per_frame;
       (* Global coordinates of the window center in the mosaic. *)
@@ -67,9 +67,13 @@ let rec make ?(cycles = Costs.bayer) ~frame ~start ~stride () =
         Image.set p ~x:0 ~y:0 v;
         p
       in
-      [ ("r", px r); ("g", px gr); ("b", px b) ]
+      outputs.(0) <- px r;
+      outputs.(1) <- px gr;
+      outputs.(2) <- px b
     in
-    Behaviour.iteration_kernel ~methods ~run ()
+    Behaviour.iteration_kernel ~methods
+      ~port_order:([ "in" ], [ "r"; "g"; "b" ])
+      ~run_indexed ()
   in
   let parallelization =
     Spec.Custom

@@ -25,24 +25,25 @@ let spec ?cycles ~w ~h () =
     (* Private state shared between the two methods, as in the paper's
        Java kernel: [loadCoeff] writes it, [runConvolve] reads it. *)
     let coeff = Bp_image.Image.create (Size.v w h) in
-    let run m ~alloc inputs =
-      match m with
-      | "runConvolve" ->
-        let window = List.assoc "in" inputs in
-        let out = alloc Size.one in
-        Bp_image.Ops.convolve_into window ~kernel:coeff ~dst:out;
-        [ ("out", out) ]
-      | "loadCoeff" ->
-        (* Copy into private state instead of retaining the input chunk:
-           the runtime releases consumed inputs back to the pool, so a
-           retained reference would be recycled under us. *)
-        Bp_image.Image.blit
-          ~src:(List.assoc "coeff" inputs)
-          ~dst:coeff ~x:0 ~y:0;
-        []
+    let run_convolve ~alloc ~inputs ~outputs =
+      let out = alloc Size.one in
+      Bp_image.Ops.convolve_into inputs.(0) ~kernel:coeff ~dst:out;
+      outputs.(0) <- out
+    in
+    let load_coeff ~alloc:_ ~inputs ~outputs:_ =
+      (* Copy into private state instead of retaining the input chunk:
+         the runtime releases consumed inputs back to the pool, so a
+         retained reference would be recycled under us. *)
+      Bp_image.Image.blit ~src:inputs.(0) ~dst:coeff ~x:0 ~y:0
+    in
+    let run_indexed = function
+      | "runConvolve" -> run_convolve
+      | "loadCoeff" -> load_coeff
       | other -> Bp_util.Err.graphf "convolution: unknown method %S" other
     in
-    Behaviour.iteration_kernel ~methods ~run ()
+    Behaviour.iteration_kernel ~methods
+      ~port_order:([ "in"; "coeff" ], [ "out" ])
+      ~run_indexed ()
   in
   Spec.v
     ~class_name:(Printf.sprintf "%dx%d Conv" w h)

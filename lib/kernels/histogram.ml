@@ -55,20 +55,21 @@ let spec ?count_cycles ~bins () =
   let make_behaviour () =
     let counts = Array.make bins 0. in
     let ranges = Array.make bins 0. in
-    let run m ~alloc:_ inputs =
-      match m with
-      | "count" ->
-        let v = Image.get (List.assoc "in" inputs) ~x:0 ~y:0 in
-        let b = find_bin ranges v in
-        counts.(b) <- counts.(b) +. 1.;
-        []
-      | "configureBins" ->
-        let img = List.assoc "bins" inputs in
-        for i = 0 to bins - 1 do
-          ranges.(i) <- Image.get img ~x:i ~y:0;
-          counts.(i) <- 0.
-        done;
-        []
+    let count ~alloc:_ ~inputs ~outputs:_ =
+      let v = Image.get inputs.(0) ~x:0 ~y:0 in
+      let b = find_bin ranges v in
+      counts.(b) <- counts.(b) +. 1.
+    in
+    let configure_bins ~alloc:_ ~inputs ~outputs:_ =
+      let img = inputs.(0) in
+      for i = 0 to bins - 1 do
+        ranges.(i) <- Image.get img ~x:i ~y:0;
+        counts.(i) <- 0.
+      done
+    in
+    let run_indexed = function
+      | "count" -> count
+      | "configureBins" -> configure_bins
       | other -> Bp_util.Err.graphf "histogram: unknown method %S" other
     in
     let token_run m ~alloc _tok =
@@ -82,7 +83,9 @@ let spec ?count_cycles ~bins () =
         [ ("out", out) ]
       | other -> Bp_util.Err.graphf "histogram: unknown token method %S" other
     in
-    Behaviour.iteration_kernel ~methods ~run ~token_run ()
+    Behaviour.iteration_kernel ~methods
+      ~port_order:([ "in"; "bins" ], [ "out" ])
+      ~run_indexed ~token_run ()
   in
   Spec.v ~class_name:"Histogram" ~state_words:(2 * bins)
     ~inputs:
@@ -107,14 +110,14 @@ let merge ~bins () =
   in
   let make_behaviour () =
     let sums = Array.make bins 0. in
-    let run m ~alloc:_ inputs =
-      match m with
-      | "accumulate" ->
-        let img = List.assoc "in" inputs in
-        for i = 0 to bins - 1 do
-          sums.(i) <- sums.(i) +. Image.get img ~x:i ~y:0
-        done;
-        []
+    let accumulate ~alloc:_ ~inputs ~outputs:_ =
+      let img = inputs.(0) in
+      for i = 0 to bins - 1 do
+        sums.(i) <- sums.(i) +. Image.get img ~x:i ~y:0
+      done
+    in
+    let run_indexed = function
+      | "accumulate" -> accumulate
       | other -> Bp_util.Err.graphf "merge: unknown method %S" other
     in
     let token_run m ~alloc _tok =
@@ -128,7 +131,8 @@ let merge ~bins () =
         [ ("out", out) ]
       | other -> Bp_util.Err.graphf "merge: unknown token method %S" other
     in
-    Behaviour.iteration_kernel ~methods ~run ~token_run ()
+    Behaviour.iteration_kernel ~methods ~port_order:([ "in" ], [ "out" ])
+      ~run_indexed ~token_run ()
   in
   Spec.v ~class_name:"Merge" ~state_words:bins ~parallelization:Spec.Serial
     ~inputs:[ Port.input "in" (bins_window bins) ]

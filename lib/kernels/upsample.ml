@@ -23,20 +23,22 @@ let spec ?(cycles = 3) ?(mode = Hold) ~fx ~fy () =
         ~outputs:[ "out" ] ();
     ]
   in
-  let run _m ~alloc inputs =
-    let v = Image.get (List.assoc "in" inputs) ~x:0 ~y:0 in
+  let run_indexed _m ~alloc ~inputs ~outputs =
+    let v = Image.get inputs.(0) ~x:0 ~y:0 in
     let out = alloc (Size.v fx fy) in
     (match mode with
     | Hold -> Image.fill out v
     | Zero_stuff ->
       (* Acquired chunks are all-zero; only the corner needs writing. *)
       Image.set out ~x:0 ~y:0 v);
-    [ ("out", out) ]
+    outputs.(0) <- out
   in
   Spec.v
     ~class_name:(Printf.sprintf "Upsample %dx%d" fx fy)
     ~inputs:[ Port.input "in" Window.pixel ]
     ~outputs:[ Port.output "out" (Window.block fx fy) ]
     ~methods
-    ~make_behaviour:(fun () -> Behaviour.iteration_kernel ~methods ~run ())
+    ~make_behaviour:(fun () ->
+      Behaviour.iteration_kernel ~methods ~port_order:([ "in" ], [ "out" ])
+        ~run_indexed ())
     ()

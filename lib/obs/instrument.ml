@@ -100,6 +100,8 @@ let finalize t ~result =
   Metrics.set t.m "sim.static.regions"
     (float_of_int result.Sim.static_regions);
   Metrics.incr t.m ~by:result.Sim.static_fired "sim.static.fired";
+  Metrics.incr t.m ~by:result.Sim.static_indexed_fired
+    "sim.static.indexed_fired";
   Metrics.incr t.m ~by:result.Sim.static_fallback_events
     "sim.static.fallback_events";
   Metrics.incr t.m ~by:result.Sim.static_elided_events

@@ -45,6 +45,12 @@ type entry = {
   e_method : string;
   e_pops : (int * item_kind) array;  (* channel id, item kind, pop order *)
   e_pushes : (int * item_kind) array;
+  (* Filled by [resolve] after recording; the recorder leaves the
+     defaults ([||], [||], 1). *)
+  e_pop_slots : int array;  (* input port ordinal of each pop *)
+  e_push_slots : int array;  (* output port ordinal of each push *)
+  e_run : int;  (* length of the identical-firing run starting here *)
+  e_shape : int;  (* index of this entry's distinct shape in its table *)
 }
 
 type node_table = {
@@ -205,6 +211,10 @@ let record ?(max_firings = 5_000_000) g =
                   e_method = f.Behaviour.method_name;
                   e_pops = Array.of_list (List.rev !pops);
                   e_pushes = Array.of_list (List.rev !pushes);
+                  e_pop_slots = [||];
+                  e_push_slots = [||];
+                  e_run = 1;
+                  e_shape = 0;
                 }
                 :: !recorded;
               true
@@ -378,12 +388,79 @@ let partition g sched =
     (List.map (fun m -> (true, m)) static_regions
     @ List.map (fun m -> (false, m)) dynamic_regions)
 
+(* ---- slot resolution ------------------------------------------------- *)
+
+(* Rewrite each table entry's channel references as kernel port ordinals —
+   the slot indices of {!Bp_kernel.Behaviour.indexed} — and annotate it
+   with the length of the maximal run of identical firings starting at
+   it, so the timed engine dispatches without any name lookup and can arm
+   a whole run from one guard validation. Runs never cross the prelude/
+   period boundary (each segment is swept independently, no wrap). *)
+let resolve g sched =
+  let port_of_chan = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Graph.channel) ->
+      Hashtbl.replace port_of_chan c.Graph.chan_id
+        (c.Graph.src.Graph.port, c.Graph.dst.Graph.port))
+    (Graph.channels g);
+  let resolve_node (id, tbl) =
+    let spec = (Graph.node g id).Graph.spec in
+    let pop_slot (cid, _) =
+      Spec.input_ordinal spec (snd (Hashtbl.find port_of_chan cid))
+    in
+    let push_slot (cid, _) =
+      Spec.output_ordinal spec (fst (Hashtbl.find port_of_chan cid))
+    in
+    (* Shape numbering, shared by prelude and period: entries with the
+       same (method, pops, pushes) footprint get the same index, assigned
+       in first-occurrence order (prelude first), so the table carries at
+       most a handful of shapes and the engine can compile each once per
+       run instead of once per entry. *)
+    let shapes = ref [] and nshapes = ref 0 in
+    let shape_of e =
+      let rec find i = function
+        | [] ->
+          shapes := e :: !shapes;
+          incr nshapes;
+          !nshapes - 1
+        | e' :: rest -> if entry_equal e' e then i else find (i - 1) rest
+      in
+      find (!nshapes - 1) !shapes
+    in
+    let resolve_seg entries =
+      let n = Array.length entries in
+      let out =
+        Array.map
+          (fun e ->
+            {
+              e with
+              e_pop_slots = Array.map pop_slot e.e_pops;
+              e_push_slots = Array.map push_slot e.e_pushes;
+              e_shape = shape_of e;
+            })
+          entries
+      in
+      (* Backward sweep over the raw entries: [e_run] counts consecutive
+         firings with the same method and channel/kind footprint. *)
+      for i = n - 2 downto 0 do
+        if entry_equal entries.(i) entries.(i + 1) then
+          out.(i) <- { (out.(i)) with e_run = out.(i + 1).e_run + 1 }
+      done;
+      out
+    in
+    let prelude = resolve_seg tbl.t_prelude in
+    let period = resolve_seg tbl.t_period in
+    (id, { tbl with t_prelude = prelude; t_period = period })
+  in
+  { sched with tables = List.map resolve_node sched.tables }
+
 (* ---- construction ---------------------------------------------------- *)
 
 let build ?max_firings ~graph ~mapping () =
   let sched = record ?max_firings graph in
   if sched.truncated then sched
   else begin
+    let sched = resolve graph sched in
     let regions = partition graph sched in
     let static_ids = Hashtbl.create 16 in
     List.iter
@@ -438,15 +515,18 @@ let coverage_bound t g =
 (* ---- rendering ------------------------------------------------------- *)
 
 let pp_entry ppf e =
-  let pp_side ppf a =
+  let pp_side slots ppf a =
     Array.iteri
       (fun i (cid, k) ->
         if i > 0 then Format.fprintf ppf ",";
-        Format.fprintf ppf "c%d:%s" cid (kind_name k))
+        Format.fprintf ppf "c%d:%s" cid (kind_name k);
+        if i < Array.length slots then Format.fprintf ppf "@@s%d" slots.(i))
       a
   in
-  Format.fprintf ppf "%s[%a -> %a]" e.e_method pp_side e.e_pops pp_side
-    e.e_pushes
+  Format.fprintf ppf "%s[%a -> %a]" e.e_method
+    (pp_side e.e_pop_slots) e.e_pops
+    (pp_side e.e_push_slots) e.e_pushes;
+  if e.e_run > 1 then Format.fprintf ppf "x%d" e.e_run
 
 let pp g ppf t =
   if t.truncated then

@@ -27,6 +27,7 @@ let strip_static (r : Sim.result) =
     r with
     Sim.static_regions = 0;
     static_fired = 0;
+    static_indexed_fired = 0;
     static_fallback_events = 0;
     static_elided_events = 0;
   }
@@ -52,7 +53,8 @@ let test_static_vs_dynamic_differential () =
             (tag ^ ": event-driven run carries no static telemetry")
             0
             (dyn.Sim.static_regions + dyn.Sim.static_fired
-            + dyn.Sim.static_fallback_events + dyn.Sim.static_elided_events);
+            + dyn.Sim.static_indexed_fired + dyn.Sim.static_fallback_events
+            + dyn.Sim.static_elided_events);
           Alcotest.(check int)
             (tag ^ ": no table desyncs across the suite")
             0 st.Sim.static_fallback_events;
@@ -115,6 +117,33 @@ let test_table_determinism () =
         (label ^ ": recompiling yields an identical schedule artifact")
         true
         (a.Pipeline.schedule = b.Pipeline.schedule))
+    Apps.Suite.labels
+
+(* Byte determinism of the resolved tables: two independent compiles
+   must serialize to identical bytes — a stricter check than structural
+   equality (it also pins field order, sharing, and the absence of any
+   nondeterministic state such as hashtable iteration order leaking into
+   the artifact), and exactly what a cached-plan consumer relies on. *)
+let test_resolve_byte_determinism () =
+  List.iter
+    (fun label ->
+      let _, a = compile_suite_entry label in
+      let _, b = compile_suite_entry label in
+      let bytes (p : Pipeline.t) =
+        Marshal.to_string p.Pipeline.schedule []
+      in
+      Alcotest.(check bool)
+        (label ^ ": resolved schedule marshals to identical bytes")
+        true
+        (String.equal (bytes a) (bytes b));
+      let render (p : Pipeline.t) =
+        Format.asprintf "%a"
+          (Static_schedule.pp p.Pipeline.graph)
+          p.Pipeline.schedule
+      in
+      Alcotest.(check string)
+        (label ^ ": --dump-after schedule rendering is byte-identical")
+        (render a) (render b))
     Apps.Suite.labels
 
 (* Known answer: src -> forward -> forward -> forward -> sink over a 2x2
@@ -198,7 +227,48 @@ let test_known_answer_chain () =
           (Printf.sprintf "node %d EOF firing forwards the EOF token" node)
           true
           (pops = [ Static_schedule.K_eof ]
-          && pushes = [ Static_schedule.K_eof ]))
+          && pushes = [ Static_schedule.K_eof ]);
+        (* The resolve step's slot indices, run lengths, and shape ids —
+           known answers one can derive on paper. A forward kernel has
+           one input port and one output port, so every pop resolves to
+           input slot 0 and every push to output slot 0. The per-frame
+           sequence run run eol / run run eol / eof compresses into runs
+           [2;1;1;2;1;1;1] (the eol and eof firings share a method but
+           not a kind footprint, so they never merge), and into three
+           distinct shapes numbered in first-occurrence order. *)
+        Array.iter
+          (fun (e : Static_schedule.entry) ->
+            Alcotest.(check (array int))
+              (Printf.sprintf "node %d pop slots resolve to input 0" node)
+              [| 0 |] e.Static_schedule.e_pop_slots;
+            Alcotest.(check (array int))
+              (Printf.sprintf "node %d push slots resolve to output 0" node)
+              [| 0 |] e.Static_schedule.e_push_slots)
+          t.Static_schedule.t_period;
+        let runs entries =
+          Array.to_list
+            (Array.map
+               (fun (e : Static_schedule.entry) -> e.Static_schedule.e_run)
+               entries)
+        in
+        let shapes entries =
+          Array.to_list
+            (Array.map
+               (fun (e : Static_schedule.entry) -> e.Static_schedule.e_shape)
+               entries)
+        in
+        Alcotest.(check (list int))
+          (Printf.sprintf "node %d prelude batch run lengths" node)
+          [ 2; 1; 1; 2; 1; 1; 1 ]
+          (runs t.Static_schedule.t_prelude);
+        Alcotest.(check (list int))
+          (Printf.sprintf "node %d period batch run lengths" node)
+          [ 2; 1; 1; 2; 1; 1; 1 ]
+          (runs t.Static_schedule.t_period);
+        Alcotest.(check (list int))
+          (Printf.sprintf "node %d shape ids, first-occurrence order" node)
+          [ 0; 0; 1; 0; 0; 1; 2 ]
+          (shapes t.Static_schedule.t_period))
     [ f1; f2; f3 ];
   (* The chain is one static region; source and sink stay dynamic. *)
   let static_ids = Static_schedule.static_node_ids sched in
@@ -215,7 +285,11 @@ let test_known_answer_chain () =
   Alcotest.(check int) "chain run never desyncs" 0
     st.Sim.static_fallback_events;
   Alcotest.(check bool) "chain run fires from the tables" true
-    (st.Sim.static_fired > 0)
+    (st.Sim.static_fired > 0);
+  (* Forward is a ported stdlib kernel, so every scripted firing takes
+     the closure-free slot-indexed dispatch path. *)
+  Alcotest.(check int) "every scripted firing dispatched slot-indexed"
+    st.Sim.static_fired st.Sim.static_indexed_fired
 
 (* The differential must also hold when runs execute under the sweep
    driver (the sharded path reuses one chunk pool per domain, so the
@@ -258,6 +332,8 @@ let suite =
       test_region_partition_invariant;
     Alcotest.test_case "schedule artifact deterministic across compiles"
       `Slow test_table_determinism;
+    Alcotest.test_case "resolved tables byte-deterministic" `Slow
+      test_resolve_byte_determinism;
     Alcotest.test_case "known-answer firing table for a 3-kernel chain"
       `Quick test_known_answer_chain;
     Alcotest.test_case "sweep path bit-identical with static on/off" `Quick
